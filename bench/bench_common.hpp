@@ -1,0 +1,123 @@
+#pragma once
+// Shared infrastructure for the experiment harnesses (E1-E8): workload
+// construction mirroring the paper's methodology at a configurable scale,
+// plus timing and table helpers.
+//
+// Paper methodology (Section II): 500 PacBio 10 kb reads simulated with
+// PBSIM2 from the human genome, mapped with minimap2 -P; the resulting
+// 138,929 (read, candidate location) pairs are aligned by every tool.
+// Scale here is reduced by default so every experiment runs in seconds
+// on one core; pass --scale=paper (or --reads/--length) to grow it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "genasmx/mapper/mapper.hpp"
+#include "genasmx/readsim/genome.hpp"
+#include "genasmx/readsim/read_simulator.hpp"
+#include "genasmx/util/timer.hpp"
+
+namespace gx::bench {
+
+struct WorkloadConfig {
+  std::size_t genome_len = 400'000;
+  std::size_t read_count = 20;
+  std::size_t read_length = 2'000;
+  double error_rate = 0.10;
+  std::size_t max_candidates_per_read = 8;
+  std::uint64_t seed = 1234;
+
+  static WorkloadConfig fromArgs(int argc, char** argv) {
+    WorkloadConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* key) -> const char* {
+        const std::size_t n = std::strlen(key);
+        return arg.rfind(key, 0) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (const char* v = val("--genome=")) cfg.genome_len = std::strtoull(v, nullptr, 10);
+      else if (const char* v2 = val("--reads=")) cfg.read_count = std::strtoull(v2, nullptr, 10);
+      else if (const char* v3 = val("--length=")) cfg.read_length = std::strtoull(v3, nullptr, 10);
+      else if (const char* v4 = val("--error=")) cfg.error_rate = std::strtod(v4, nullptr);
+      else if (const char* v5 = val("--seed=")) cfg.seed = std::strtoull(v5, nullptr, 10);
+      else if (arg == "--scale=paper") {
+        // The paper's full workload; expect minutes-to-hours on one core.
+        cfg.genome_len = 20'000'000;
+        cfg.read_count = 500;
+        cfg.read_length = 10'000;
+      }
+    }
+    return cfg;
+  }
+};
+
+struct Workload {
+  std::string genome;
+  std::vector<readsim::SimulatedRead> reads;
+  std::vector<mapper::AlignmentPair> pairs;
+  std::size_t total_candidates = 0;
+  double build_seconds = 0;
+  double aligned_bases = 0;  ///< sum of query lengths over pairs
+};
+
+inline Workload buildWorkload(const WorkloadConfig& cfg) {
+  util::Timer timer;
+  Workload w;
+  readsim::GenomeConfig gcfg;
+  gcfg.length = cfg.genome_len;
+  gcfg.seed = cfg.seed;
+  // A repeat-rich genome so `-P`-style all-chain mapping yields secondary
+  // candidates per read, as the paper's human-genome workload does.
+  gcfg.repeat_fraction = 0.25;
+  gcfg.repeat_unit = 2'000;
+  gcfg.repeat_divergence = 0.02;
+  w.genome = readsim::generateGenome(gcfg);
+
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(cfg.read_count, cfg.read_length);
+  rcfg.errors.error_rate = cfg.error_rate;
+  rcfg.seed = cfg.seed + 1;
+  w.reads = readsim::simulateReads(w.genome, rcfg);
+
+  mapper::Mapper mapper(std::string(w.genome));
+  for (const auto& r : w.reads) {
+    const auto cands = mapper.map(r.seq);
+    w.total_candidates += cands.size();
+    auto rp = mapper::buildAlignmentPairs(mapper, r.seq,
+                                          cfg.max_candidates_per_read);
+    for (auto& p : rp) w.pairs.push_back(std::move(p));
+  }
+  for (const auto& p : w.pairs) {
+    w.aligned_bases += static_cast<double>(p.query.size());
+  }
+  w.build_seconds = timer.seconds();
+  return w;
+}
+
+/// Time `fn()` and return seconds (single run; workloads are sized so one
+/// run is representative, and benches print work counts alongside).
+template <class Fn>
+double timeIt(Fn&& fn) {
+  util::Timer t;
+  fn();
+  return t.seconds();
+}
+
+inline void printHeader(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline void printWorkload(const WorkloadConfig& cfg, const Workload& w) {
+  std::printf(
+      "Workload: genome=%zubp reads=%zux%zubp (%.0f%% err) candidates=%zu "
+      "pairs=%zu (built in %.2fs)\n\n",
+      cfg.genome_len, w.reads.size(), cfg.read_length, cfg.error_rate * 100,
+      w.total_candidates, w.pairs.size(), w.build_seconds);
+}
+
+}  // namespace gx::bench

@@ -1,0 +1,127 @@
+// E9 — Microbenchmarks of the bit-parallel kernels (google-benchmark).
+//
+// Nanosecond-scale costs of the primitives every experiment above is
+// built from: bitvector ops, pattern-mask construction, one DC window
+// solve (baseline vs improved, by window size), Myers blocks, and
+// traceback.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "genasmx/bitvector/bitvector.hpp"
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/core/genasm_improved.hpp"
+#include "genasmx/core/windowed.hpp"
+#include "genasmx/genasm/genasm_baseline.hpp"
+#include "genasmx/myers/myers.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace {
+
+using namespace gx;
+
+template <int NW>
+void BM_BitvecShl1(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  bitvector::BitVec<NW> v;
+  for (auto& w : v.w) w = rng();
+  for (auto _ : state) {
+    v = v.shl1(false);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_BitvecShl1<1>);
+BENCHMARK(BM_BitvecShl1<2>);
+BENCHMARK(BM_BitvecShl1<4>);
+
+void BM_PatternMasks(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  const auto pattern =
+      common::randomSequence(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bitvector::PatternMasks<1> masks(pattern);
+    benchmark::DoNotOptimize(masks);
+  }
+}
+BENCHMARK(BM_PatternMasks)->Arg(32)->Arg(64);
+
+void BM_WindowSolveBaseline(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  const auto text = common::randomSequence(rng, 96);
+  const auto pattern = common::mutateSequence(rng, text.substr(0, 64), 6);
+  const auto t_rev = common::reversed(text);
+  const auto q_rev = common::reversed(pattern);
+  genasm::BaselineWindowSolver<1> solver;
+  genasm::WindowSpec spec;
+  spec.anchor = genasm::Anchor::StartOnly;
+  spec.tb_op_limit = 40;
+  for (auto _ : state) {
+    auto wr = solver.solve(t_rev, q_rev, spec);
+    benchmark::DoNotOptimize(wr);
+  }
+}
+BENCHMARK(BM_WindowSolveBaseline);
+
+void BM_WindowSolveImproved(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  const auto text = common::randomSequence(rng, 96);
+  const auto pattern = common::mutateSequence(rng, text.substr(0, 64), 6);
+  const auto t_rev = common::reversed(text);
+  const auto q_rev = common::reversed(pattern);
+  core::ImprovedWindowSolver<1> solver;
+  genasm::WindowSpec spec;
+  spec.anchor = genasm::Anchor::StartOnly;
+  spec.tb_op_limit = 40;
+  for (auto _ : state) {
+    auto wr = solver.solve(t_rev, q_rev, spec);
+    benchmark::DoNotOptimize(wr);
+  }
+}
+BENCHMARK(BM_WindowSolveImproved);
+
+void BM_WindowedLongRead(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto t = common::randomSequence(rng, len);
+  const auto q = common::mutateSequence(rng, t, len / 10);
+  for (auto _ : state) {
+    auto res = core::alignWindowedImproved(t, q);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_WindowedLongRead)->Arg(1'000)->Arg(10'000);
+
+void BM_MyersDistanceLongRead(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto t = common::randomSequence(rng, len);
+  const auto q = common::mutateSequence(rng, t, len / 10);
+  myers::MyersAligner aligner;
+  for (auto _ : state) {
+    auto d = aligner.distance(t, q);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_MyersDistanceLongRead)->Arg(1'000)->Arg(10'000);
+
+void BM_CigarRoundTrip(benchmark::State& state) {
+  common::Cigar c;
+  for (int i = 0; i < 200; ++i) {
+    c.push(common::EditOp::Match, 13);
+    c.push(common::EditOp::Insertion, 1);
+  }
+  const auto text = c.str();
+  for (auto _ : state) {
+    auto parsed = common::Cigar::parse(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_CigarRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

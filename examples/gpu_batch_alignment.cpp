@@ -1,0 +1,81 @@
+// GPU batch alignment on the simulated A6000: the paper's GPU story in
+// one runnable program. Builds a candidate workload, runs the improved
+// and unimproved GenASM kernels, and prints the capacity/occupancy/
+// traffic diagnostics that explain the speedup.
+//
+//   ./build/examples/gpu_batch_alignment [reads] [read_length]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "genasmx/gpukernels/genasm_kernels.hpp"
+#include "genasmx/gpusim/perf_model.hpp"
+#include "genasmx/mapper/mapper.hpp"
+#include "genasmx/readsim/genome.hpp"
+#include "genasmx/readsim/read_simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gx;
+  const std::size_t n_reads =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
+  const std::size_t read_len =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000;
+
+  readsim::GenomeConfig gcfg;
+  gcfg.length = std::max<std::size_t>(400'000, read_len * 40);
+  const auto genome = readsim::generateGenome(gcfg);
+  const auto reads = readsim::simulateReads(
+      genome, readsim::ReadSimConfig::pacbioClr(n_reads, read_len));
+  mapper::Mapper mapper{std::string(genome)};
+  std::vector<mapper::AlignmentPair> pairs;
+  for (const auto& r : reads) {
+    auto rp = mapper::buildAlignmentPairs(mapper, r.seq, 4);
+    for (auto& p : rp) pairs.push_back(std::move(p));
+  }
+
+  gpusim::Device device;  // sim-A6000
+  const auto& spec = device.spec();
+  std::printf("device: %s (%d SMs, %.0f GB/s DRAM, %zu KiB shared/block)\n",
+              spec.name.c_str(), spec.num_sms, spec.dram_bandwidth_gbps,
+              spec.shared_mem_per_block / 1024);
+  std::printf("batch : %zu alignment pairs, one per thread block\n\n",
+              pairs.size());
+
+  const auto improved = gpukernels::alignBatchImproved(device, pairs);
+  const auto baseline = gpukernels::alignBatchBaseline(device, pairs);
+
+  auto show = [&](const char* name, const gpukernels::GpuBatchOutput& out) {
+    std::printf("%s\n", name);
+    std::printf("  shared/block        : %zu bytes (fits: %s)\n",
+                out.launch.shared_per_block,
+                out.spilled_blocks == 0 ? "yes" : "no");
+    std::printf("  occupancy           : %d blocks/SM (%.0f%% threads)\n",
+                out.time.blocks_per_sm, out.time.occupancy * 100);
+    std::printf("  DRAM traffic        : %.2f MB\n",
+                out.launch.global_bytes / 1e6);
+    std::printf("  shared traffic      : %.2f MB\n",
+                out.launch.shared_bytes / 1e6);
+    std::printf("  model bounds (us)   : compute %.1f, dram %.1f, shared %.1f, "
+                "latency %.1f\n",
+                out.time.compute_s * 1e6, out.time.dram_s * 1e6,
+                out.time.shared_s * 1e6, out.time.latency_s * 1e6);
+    std::printf("  modeled throughput  : %.0f alignments/s\n\n",
+                out.alignments_per_second);
+  };
+  show("GenASM improved kernel (this paper)", improved);
+  show("GenASM baseline kernel (MICRO'20)", baseline);
+
+  std::printf("improved vs baseline: %.1fx (paper reports 5.9x on a real "
+              "A6000)\n",
+              improved.alignments_per_second / baseline.alignments_per_second);
+
+  // Results are bit-exact with the CPU implementation.
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    agree += improved.results[i].cigar == baseline.results[i].cigar;
+  }
+  std::printf("result cross-check  : %zu/%zu identical CIGARs between "
+              "kernels\n",
+              agree, pairs.size());
+  return 0;
+}

@@ -1,0 +1,10 @@
+#include "genasmx/bitvector/bitvector.hpp"
+
+namespace gx::bitvector {
+
+int wordsNeeded(int len) noexcept {
+  if (len <= 0) return 1;
+  return (len + 63) / 64;
+}
+
+}  // namespace gx::bitvector

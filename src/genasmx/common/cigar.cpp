@@ -1,0 +1,103 @@
+#include "genasmx/common/cigar.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gx::common {
+
+void Cigar::push(EditOp op, std::uint32_t len) {
+  if (len == 0) return;
+  if (!units_.empty() && units_.back().op == op) {
+    units_.back().len += len;
+  } else {
+    units_.push_back({op, len});
+  }
+}
+
+void Cigar::append(const Cigar& other) {
+  for (const auto& u : other.units_) push(u.op, u.len);
+}
+
+std::uint64_t Cigar::opCount() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& u : units_) n += u.len;
+  return n;
+}
+
+std::uint64_t Cigar::queryLength() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& u : units_)
+    if (opConsumesQuery(u.op)) n += u.len;
+  return n;
+}
+
+std::uint64_t Cigar::targetLength() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& u : units_)
+    if (opConsumesTarget(u.op)) n += u.len;
+  return n;
+}
+
+std::uint64_t Cigar::editDistance() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& u : units_)
+    if (opIsError(u.op)) n += u.len;
+  return n;
+}
+
+std::uint64_t Cigar::count(EditOp op) const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& u : units_)
+    if (u.op == op) n += u.len;
+  return n;
+}
+
+Cigar Cigar::prefix(std::uint64_t n) const {
+  Cigar out;
+  for (const auto& u : units_) {
+    if (n == 0) break;
+    const std::uint32_t take =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(u.len, n));
+    out.push(u.op, take);
+    n -= take;
+  }
+  return out;
+}
+
+std::string Cigar::str() const {
+  std::string out;
+  for (const auto& u : units_) {
+    out += std::to_string(u.len);
+    out += opChar(u.op);
+  }
+  return out;
+}
+
+Cigar Cigar::parse(std::string_view text) {
+  Cigar out;
+  std::uint64_t len = 0;
+  bool have_len = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      len = len * 10 + static_cast<std::uint64_t>(c - '0');
+      have_len = true;
+      continue;
+    }
+    if (!have_len) throw std::invalid_argument("cigar: op without length");
+    EditOp op;
+    switch (c) {
+      case '=': case 'M': op = EditOp::Match; break;
+      case 'X': op = EditOp::Mismatch; break;
+      case 'I': op = EditOp::Insertion; break;
+      case 'D': op = EditOp::Deletion; break;
+      default: throw std::invalid_argument("cigar: unknown op");
+    }
+    out.push(op, static_cast<std::uint32_t>(len));
+    len = 0;
+    have_len = false;
+  }
+  if (have_len) throw std::invalid_argument("cigar: trailing length");
+  return out;
+}
+
+}  // namespace gx::common

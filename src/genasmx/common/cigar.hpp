@@ -1,0 +1,97 @@
+#pragma once
+// CIGAR representation of pairwise alignments.
+//
+// Conventions used across the library:
+//   query  = the read / pattern,
+//   target = the reference / text,
+//   '='  match        (consumes one query and one target character)
+//   'X'  mismatch     (consumes one of each)
+//   'I'  insertion    (consumes one query character only)
+//   'D'  deletion     (consumes one target character only)
+// Edit distance of an alignment = #X + #I + #D.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gx::common {
+
+enum class EditOp : std::uint8_t { Match, Mismatch, Insertion, Deletion };
+
+[[nodiscard]] constexpr char opChar(EditOp op) noexcept {
+  switch (op) {
+    case EditOp::Match: return '=';
+    case EditOp::Mismatch: return 'X';
+    case EditOp::Insertion: return 'I';
+    case EditOp::Deletion: return 'D';
+  }
+  return '?';
+}
+
+[[nodiscard]] constexpr bool opConsumesQuery(EditOp op) noexcept {
+  return op != EditOp::Deletion;
+}
+[[nodiscard]] constexpr bool opConsumesTarget(EditOp op) noexcept {
+  return op != EditOp::Insertion;
+}
+[[nodiscard]] constexpr bool opIsError(EditOp op) noexcept {
+  return op != EditOp::Match;
+}
+
+struct CigarUnit {
+  EditOp op;
+  std::uint32_t len;
+  friend bool operator==(const CigarUnit&, const CigarUnit&) = default;
+};
+
+/// Run-length encoded list of edit operations. push() merges adjacent
+/// identical operations so the representation is always canonical.
+class Cigar {
+ public:
+  Cigar() = default;
+
+  void push(EditOp op, std::uint32_t len = 1);
+  void append(const Cigar& other);
+  void clear() noexcept { units_.clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return units_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return units_.size(); }
+  [[nodiscard]] const std::vector<CigarUnit>& units() const noexcept {
+    return units_;
+  }
+
+  /// Total number of edit operations (= alignment columns).
+  [[nodiscard]] std::uint64_t opCount() const noexcept;
+  /// Query characters consumed (= read length for a full alignment).
+  [[nodiscard]] std::uint64_t queryLength() const noexcept;
+  /// Target characters consumed.
+  [[nodiscard]] std::uint64_t targetLength() const noexcept;
+  /// Unit-cost edit distance: #X + #I + #D.
+  [[nodiscard]] std::uint64_t editDistance() const noexcept;
+  /// Count of a specific operation.
+  [[nodiscard]] std::uint64_t count(EditOp op) const noexcept;
+
+  /// Keep only the first n operations (splitting a run if needed).
+  /// Used by GenASM windowing, which commits W-O ops per window.
+  [[nodiscard]] Cigar prefix(std::uint64_t n) const;
+
+  /// Render as e.g. "32=1X4I7=" ; parse the same format back.
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] static Cigar parse(std::string_view text);
+
+  friend bool operator==(const Cigar&, const Cigar&) = default;
+
+ private:
+  std::vector<CigarUnit> units_;
+};
+
+/// A finished pairwise alignment.
+struct AlignmentResult {
+  bool ok = false;         ///< false => no alignment within the threshold
+  int edit_distance = -1;  ///< unit-cost distance (or -1)
+  int score = 0;           ///< affine score, where applicable (ksw)
+  Cigar cigar;
+};
+
+}  // namespace gx::common

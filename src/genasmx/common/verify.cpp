@@ -1,0 +1,115 @@
+#include "genasmx/common/verify.hpp"
+
+#include <sstream>
+
+namespace gx::common {
+
+VerifyResult verifyAlignment(std::string_view target, std::string_view query,
+                             const Cigar& cigar) {
+  VerifyResult r;
+  std::size_t ti = 0;
+  std::size_t qi = 0;
+  for (const auto& u : cigar.units()) {
+    for (std::uint32_t step = 0; step < u.len; ++step) {
+      switch (u.op) {
+        case EditOp::Match:
+          if (ti >= target.size() || qi >= query.size()) {
+            r.error = "match op runs past sequence end";
+            return r;
+          }
+          if (target[ti] != query[qi]) {
+            std::ostringstream os;
+            os << "match op at target[" << ti << "]='" << target[ti]
+               << "' query[" << qi << "]='" << query[qi] << "' disagrees";
+            r.error = os.str();
+            return r;
+          }
+          ++ti;
+          ++qi;
+          break;
+        case EditOp::Mismatch:
+          if (ti >= target.size() || qi >= query.size()) {
+            r.error = "mismatch op runs past sequence end";
+            return r;
+          }
+          if (target[ti] == query[qi]) {
+            r.error = "mismatch op on equal characters";
+            return r;
+          }
+          ++ti;
+          ++qi;
+          ++r.cost;
+          break;
+        case EditOp::Insertion:
+          if (qi >= query.size()) {
+            r.error = "insertion op runs past query end";
+            return r;
+          }
+          ++qi;
+          ++r.cost;
+          break;
+        case EditOp::Deletion:
+          if (ti >= target.size()) {
+            r.error = "deletion op runs past target end";
+            return r;
+          }
+          ++ti;
+          ++r.cost;
+          break;
+      }
+    }
+  }
+  if (ti != target.size()) {
+    std::ostringstream os;
+    os << "target not fully consumed: " << ti << " of " << target.size();
+    r.error = os.str();
+    return r;
+  }
+  if (qi != query.size()) {
+    std::ostringstream os;
+    os << "query not fully consumed: " << qi << " of " << query.size();
+    r.error = os.str();
+    return r;
+  }
+  r.valid = true;
+  return r;
+}
+
+std::string renderAlignment(std::string_view target, std::string_view query,
+                            const Cigar& cigar, std::size_t max_cols) {
+  std::string t_line, bar, q_line;
+  std::size_t ti = 0, qi = 0;
+  for (const auto& u : cigar.units()) {
+    for (std::uint32_t s = 0; s < u.len; ++s) {
+      if (t_line.size() >= max_cols) goto done;
+      switch (u.op) {
+        case EditOp::Match:
+          t_line += ti < target.size() ? target[ti++] : '?';
+          q_line += qi < query.size() ? query[qi++] : '?';
+          bar += '|';
+          break;
+        case EditOp::Mismatch:
+          t_line += ti < target.size() ? target[ti++] : '?';
+          q_line += qi < query.size() ? query[qi++] : '?';
+          bar += '.';
+          break;
+        case EditOp::Insertion:
+          t_line += '-';
+          q_line += qi < query.size() ? query[qi++] : '?';
+          bar += ' ';
+          break;
+        case EditOp::Deletion:
+          t_line += ti < target.size() ? target[ti++] : '?';
+          q_line += '-';
+          bar += ' ';
+          break;
+      }
+    }
+  }
+done:
+  std::string out;
+  out += "T: " + t_line + "\n   " + bar + "\nQ: " + q_line + "\n";
+  return out;
+}
+
+}  // namespace gx::common

@@ -1,0 +1,31 @@
+#pragma once
+// Alignment verification: the single source of truth tests and benchmarks
+// use to decide whether an aligner's output is *valid* (consumes both
+// sequences exactly, '='/'X' agree with the characters) and what it costs.
+
+#include <string>
+#include <string_view>
+
+#include "genasmx/common/cigar.hpp"
+
+namespace gx::common {
+
+struct VerifyResult {
+  bool valid = false;
+  std::string error;        ///< human-readable reason when !valid
+  std::uint64_t cost = 0;   ///< unit edit cost of the alignment when valid
+};
+
+/// Check `cigar` as a *global* alignment of query against target.
+[[nodiscard]] VerifyResult verifyAlignment(std::string_view target,
+                                           std::string_view query,
+                                           const Cigar& cigar);
+
+/// Render a 3-line visual alignment (target / bars / query) for debugging
+/// and examples; columns beyond max_cols are elided.
+[[nodiscard]] std::string renderAlignment(std::string_view target,
+                                          std::string_view query,
+                                          const Cigar& cigar,
+                                          std::size_t max_cols = 120);
+
+}  // namespace gx::common

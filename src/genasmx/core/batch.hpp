@@ -1,0 +1,28 @@
+#pragma once
+// Multi-threaded batch alignment — the embarrassingly-parallel outer loop
+// the paper runs with 48 CPU threads. Pairs are distributed over a thread
+// pool; each worker reuses one solver's scratch buffers across its share.
+
+#include <vector>
+
+#include "genasmx/core/windowed.hpp"
+#include "genasmx/mapper/mapper.hpp"
+
+namespace gx::core {
+
+struct BatchConfig {
+  WindowConfig window{};
+  ImprovedOptions options{};
+  /// 0 selects hardware concurrency.
+  std::size_t threads = 0;
+  /// Use the unimproved baseline solver instead (comparison runs).
+  bool baseline = false;
+};
+
+/// Align every pair; results[i] corresponds to pairs[i]. Deterministic:
+/// identical to the sequential loop regardless of thread count.
+[[nodiscard]] std::vector<common::AlignmentResult> alignBatch(
+    const std::vector<mapper::AlignmentPair>& pairs,
+    const BatchConfig& cfg = {});
+
+}  // namespace gx::core

@@ -1,0 +1,74 @@
+#include "genasmx/core/genasm_improved.hpp"
+
+#include <string>
+
+#include "genasmx/common/sequence.hpp"
+
+namespace gx::core {
+namespace {
+
+template <int NW, class Counter>
+common::AlignmentResult runGlobal(std::string_view target,
+                                  std::string_view query, int max_edits,
+                                  const ImprovedOptions& opts,
+                                  Counter counter) {
+  ImprovedWindowSolver<NW> solver(opts);
+  WindowSpec spec;
+  spec.anchor = Anchor::BothEnds;
+  spec.max_edits = max_edits;
+  const std::string t_rev = common::reversed(target);
+  const std::string q_rev = common::reversed(query);
+  WindowResult wr = solver.solve(t_rev, q_rev, spec, counter);
+  common::AlignmentResult out;
+  if (!wr.ok) return out;
+  out.ok = true;
+  out.edit_distance = wr.distance;
+  out.score = -wr.distance;
+  out.cigar = std::move(wr.cigar);
+  return out;
+}
+
+template <class Counter>
+common::AlignmentResult dispatch(std::string_view target,
+                                 std::string_view query, int max_edits,
+                                 const ImprovedOptions& opts,
+                                 Counter counter) {
+  switch (bitvector::wordsNeeded(static_cast<int>(query.size()))) {
+    case 1: return runGlobal<1>(target, query, max_edits, opts, counter);
+    case 2: return runGlobal<2>(target, query, max_edits, opts, counter);
+    case 3: return runGlobal<3>(target, query, max_edits, opts, counter);
+    case 4: return runGlobal<4>(target, query, max_edits, opts, counter);
+    case 5: return runGlobal<5>(target, query, max_edits, opts, counter);
+    case 6: return runGlobal<6>(target, query, max_edits, opts, counter);
+    case 7: return runGlobal<7>(target, query, max_edits, opts, counter);
+    case 8: return runGlobal<8>(target, query, max_edits, opts, counter);
+    default: return {};
+  }
+}
+
+}  // namespace
+
+common::AlignmentResult alignGlobalImproved(std::string_view target,
+                                            std::string_view query,
+                                            int max_edits,
+                                            const ImprovedOptions& opts,
+                                            util::MemStats* stats) {
+  if (query.empty()) {
+    common::AlignmentResult r;
+    r.ok = true;
+    r.edit_distance = static_cast<int>(target.size());
+    r.score = -r.edit_distance;
+    if (!target.empty()) {
+      r.cigar.push(common::EditOp::Deletion,
+                   static_cast<std::uint32_t>(target.size()));
+    }
+    return r;
+  }
+  if (stats) {
+    return dispatch(target, query, max_edits, opts,
+                    util::CountingMemCounter(*stats));
+  }
+  return dispatch(target, query, max_edits, opts, util::NullMemCounter{});
+}
+
+}  // namespace gx::core

@@ -1,0 +1,290 @@
+#pragma once
+// The paper's primary contribution: GenASM with three algorithmic
+// improvements, each independently toggleable for the ablation study
+// (bench_ablation, E5).
+//
+//   1. Entry compression ("store the AND", ImprovedOptions::
+//      compress_entries): the DP table keeps only R[i][d] — the bitwise
+//      AND of the four transition vectors — and the traceback recomputes
+//      transition bits on demand from stored neighbours. One stored
+//      vector per entry instead of four.
+//
+//   2. Early termination (ImprovedOptions::early_termination): GenASM-DC
+//      is restructured *level-major* (row d for every column, then row
+//      d+1), which is legal because row d depends only on rows d-1 and d.
+//      The first row whose final column solves the problem ends the
+//      computation; rows above d_min are never computed nor allocated.
+//
+//   3. Traceback-reachability pruning (ImprovedOptions::
+//      traceback_pruning): windowed alignment commits only the first
+//      W-O traceback operations, and each operation moves the text
+//      cursor by at most one column, so a traceback limited to L ops can
+//      only ever read columns i >= n - L - 1. Entries left of that are
+//      computed (the recurrence needs them transiently) but never stored.
+//
+// The DC working state is two rows (levels d-1 and d); like the original
+// hardware's pipeline registers it is transient, but we still count its
+// traffic and footprint so the comparison against the baseline is honest.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/bitvector/bitvector.hpp"
+#include "genasmx/common/cigar.hpp"
+#include "genasmx/genasm/genasm_common.hpp"
+#include "genasmx/util/mem_stats.hpp"
+
+namespace gx::core {
+
+using genasm::Anchor;
+using genasm::WindowResult;
+using genasm::WindowSpec;
+
+struct ImprovedOptions {
+  bool compress_entries = true;
+  bool early_termination = true;
+  bool traceback_pruning = true;
+
+  [[nodiscard]] static ImprovedOptions all() noexcept { return {}; }
+  [[nodiscard]] static ImprovedOptions none() noexcept {
+    return {false, false, false};
+  }
+};
+
+template <int NW>
+class ImprovedWindowSolver {
+ public:
+  using Vec = bitvector::BitVec<NW>;
+
+  explicit ImprovedWindowSolver(ImprovedOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] const ImprovedOptions& options() const noexcept {
+    return opts_;
+  }
+  void setOptions(ImprovedOptions opts) noexcept { opts_ = opts; }
+
+  template <class Counter = util::NullMemCounter>
+  WindowResult solve(std::string_view text_rev, std::string_view pattern_rev,
+                     const WindowSpec& spec, Counter counter = Counter{}) {
+    WindowResult out;
+    const int n = static_cast<int>(text_rev.size());
+    const int m = static_cast<int>(pattern_rev.size());
+    if (m <= 0 || m > Vec::kBits) return out;
+    const int k = spec.max_edits >= 0
+                      ? spec.max_edits
+                      : genasm::autoEditCap(n, m, spec.anchor);
+    const int levels = k + 1;
+
+    // Improvement 3: persistent storage is limited to the columns a
+    // traceback of at most tb_op_limit operations can read.
+    col_lo_ = 0;
+    if (opts_.traceback_pruning && spec.tb_op_limit >= 0) {
+      col_lo_ = n - spec.tb_op_limit - 1;
+      if (col_lo_ < 0) col_lo_ = 0;
+    }
+    stride_ = n - col_lo_ + 1;  // stored columns col_lo_ .. n
+
+    const std::uint64_t work_bytes =
+        std::uint64_t(2) * (n + 1) * sizeof(Vec);
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(stride_) * sizeof(Vec) *
+        (opts_.compress_entries ? 1 : 4);
+    counter.alloc(work_bytes);
+    counter.problem();
+    std::uint64_t persisted_bytes = 0;
+
+    const bitvector::PatternMasks<NW> masks(pattern_rev);
+    work_prev_.resize(n + 1);
+    work_cur_.resize(n + 1);
+    rows_.clear();
+    edge_rows_.clear();
+
+    int dmin = -1;
+    int computed_levels = 0;
+    for (int d = 0; d < levels; ++d) {
+      computed_levels = d + 1;
+      // Row d, column 0.
+      work_cur_[0] = Vec::onesAbove(d);
+      counter.store(NW);
+      if (!opts_.compress_entries) {
+        edge_rows_.emplace_back(static_cast<std::size_t>(stride_) * 4,
+                                Vec::allOnes());
+      }
+      for (int i = 1; i <= n; ++i) {
+        const Vec& pm = masks.forChar(text_rev[i - 1]);
+        // Register-carry accounting (mirrors the baseline's): the only
+        // fresh operand per entry is work_prev_[i]; work_cur_[i-1] was
+        // just computed and work_prev_[i-1] was the previous iteration's
+        // work_prev_[i].
+        const Vec match =
+            work_cur_[i - 1].shl1(genasm::shiftInOne(spec.anchor, i - 1, d)) |
+            pm;
+        Vec r = match;
+        Vec sub = Vec::allOnes();
+        Vec del = Vec::allOnes();
+        Vec ins = Vec::allOnes();
+        if (d > 0) {
+          counter.load(NW);  // work_prev_[i]
+          sub = work_prev_[i - 1].shl1(
+              genasm::shiftInOne(spec.anchor, i - 1, d - 1));
+          del = work_prev_[i - 1];
+          ins =
+              work_prev_[i].shl1(genasm::shiftInOne(spec.anchor, i, d - 1));
+          r = match & sub & del & ins;
+        }
+        work_cur_[i] = r;
+        counter.store(NW);
+        counter.entry();
+        if (!opts_.compress_entries && i > col_lo_) {
+          Vec* e = &edge_rows_.back()[static_cast<std::size_t>(i - col_lo_ - 1) * 4];
+          e[0] = match;
+          e[1] = sub;
+          e[2] = del;
+          e[3] = ins;
+          counter.store(4 * NW);
+        }
+      }
+      // Persist the traceback-visible slice of this row.
+      if (opts_.compress_entries) {
+        rows_.emplace_back(work_cur_.begin() + col_lo_, work_cur_.end());
+        counter.store(static_cast<std::uint64_t>(stride_) * NW);
+      }
+      counter.alloc(row_bytes);
+      persisted_bytes += row_bytes;
+
+      counter.load(NW);
+      if (dmin < 0 && !work_cur_[n].bit(m - 1)) {
+        dmin = d;
+        if (opts_.early_termination) break;  // improvement 2
+      }
+      std::swap(work_prev_, work_cur_);
+    }
+    // GPU dependency-chain shape: level-major wavefront drains after
+    // n columns + the number of levels actually computed.
+    counter.wavefront(static_cast<std::uint64_t>(n) + computed_levels);
+
+    if (dmin >= 0) {
+      out.distance = dmin;
+      out.ok = traceback(text_rev, pattern_rev, spec, n, m, dmin, out, counter);
+    }
+    counter.free(work_bytes + persisted_bytes);
+    return out;
+  }
+
+ private:
+  /// Bit (active-low) of stored R[col][lvl] at index `bitidx`.
+  /// bitidx == -1 addresses the empty-prefix state; column 0 is always
+  /// resolved analytically (R[0][lvl] = onesAbove(lvl)), which keeps the
+  /// pruned store free of columns the traceback cannot reach.
+  template <class Counter>
+  bool rBitIsOne(Anchor anchor, int col, int lvl, int bitidx,
+                 Counter& counter) const {
+    if (bitidx < 0) return genasm::shiftInOne(anchor, col, lvl);
+    if (col == 0) return bitidx >= lvl;
+    counter.load(NW);
+    return rows_[lvl][static_cast<std::size_t>(col - col_lo_)].bit(bitidx);
+  }
+
+  template <class Counter>
+  bool traceback(std::string_view text_rev, std::string_view pattern_rev,
+                 const WindowSpec& spec, int n, int m, int dmin,
+                 WindowResult& out, Counter& counter) {
+    int i = n;
+    int pl = m;
+    int d = dmin;
+    const std::uint64_t limit =
+        spec.tb_op_limit < 0 ? ~0ULL
+                             : static_cast<std::uint64_t>(spec.tb_op_limit);
+    std::uint64_t ops = 0;
+    const bool both = spec.anchor == Anchor::BothEnds;
+    const bool compressed = opts_.compress_entries;
+
+    while (pl > 0 || (both && i > 0)) {
+      if (ops >= limit) return true;  // truncated
+      if (pl == 0) {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(i), limit - ops);
+        out.cigar.push(common::EditOp::Deletion,
+                       static_cast<std::uint32_t>(take));
+        ops += take;
+        i -= static_cast<int>(take);
+        d -= static_cast<int>(take);
+        continue;
+      }
+      if (i == 0) {
+        if (d >= 1 && pl <= d) {
+          out.cigar.push(common::EditOp::Insertion);
+          --pl;
+          --d;
+          ++ops;
+          continue;
+        }
+        return false;
+      }
+      bool match_ok, sub_ok, del_ok, ins_ok;
+      if (compressed) {
+        // Improvement 1: recompute the four transition bits from stored
+        // entries instead of loading stored edge vectors.
+        match_ok =
+            common::baseCode(pattern_rev[pl - 1]) ==
+                common::baseCode(text_rev[i - 1]) &&
+            !rBitIsOne(spec.anchor, i - 1, d, pl - 2, counter);
+        sub_ok = d >= 1 &&
+                 !rBitIsOne(spec.anchor, i - 1, d - 1, pl - 2, counter);
+        del_ok = d >= 1 &&
+                 !rBitIsOne(spec.anchor, i - 1, d - 1, pl - 1, counter);
+        ins_ok =
+            d >= 1 && !rBitIsOne(spec.anchor, i, d - 1, pl - 2, counter);
+      } else {
+        const Vec* e =
+            &edge_rows_[d][static_cast<std::size_t>(i - col_lo_ - 1) * 4];
+        counter.load(4 * NW);
+        match_ok = !e[0].bit(pl - 1);
+        sub_ok = d >= 1 && !e[1].bit(pl - 1);
+        del_ok = d >= 1 && !e[2].bit(pl - 1);
+        ins_ok = d >= 1 && !e[3].bit(pl - 1);
+      }
+      // Priority match > del > ins > sub — identical to the baseline
+      // traceback; see the note there on why indels commit eagerly.
+      if (match_ok) {
+        out.cigar.push(common::EditOp::Match);
+        --i;
+        --pl;
+      } else if (del_ok) {
+        out.cigar.push(common::EditOp::Deletion);
+        --i;
+        --d;
+      } else if (ins_ok) {
+        out.cigar.push(common::EditOp::Insertion);
+        --pl;
+        --d;
+      } else if (sub_ok) {
+        out.cigar.push(common::EditOp::Mismatch);
+        --i;
+        --pl;
+        --d;
+      } else {
+        return false;  // inconsistent table (must not happen)
+      }
+      ++ops;
+    }
+    out.traceback_complete = true;
+    return true;
+  }
+
+  ImprovedOptions opts_;
+  int col_lo_ = 0;
+  int stride_ = 0;
+  std::vector<std::vector<Vec>> rows_;       // per level, pruned columns
+  std::vector<std::vector<Vec>> edge_rows_;  // ablation: uncompressed mode
+  std::vector<Vec> work_prev_, work_cur_;
+};
+
+/// Convenience: fully global improved alignment (query <= 512 chars;
+/// longer inputs go through genasmx/core/windowed.hpp).
+[[nodiscard]] common::AlignmentResult alignGlobalImproved(
+    std::string_view target, std::string_view query, int max_edits = -1,
+    const ImprovedOptions& opts = {}, util::MemStats* stats = nullptr);
+
+}  // namespace gx::core

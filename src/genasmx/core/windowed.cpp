@@ -1,0 +1,63 @@
+#include "genasmx/core/windowed.hpp"
+
+namespace gx::core {
+namespace {
+
+template <int NW, class Counter>
+common::AlignmentResult runBaseline(std::string_view target,
+                                    std::string_view query,
+                                    const WindowConfig& cfg, Counter counter) {
+  genasm::BaselineWindowSolver<NW> solver;
+  return alignWindowed(solver, target, query, cfg, counter);
+}
+
+template <int NW, class Counter>
+common::AlignmentResult runImproved(std::string_view target,
+                                    std::string_view query,
+                                    const WindowConfig& cfg,
+                                    const ImprovedOptions& opts,
+                                    Counter counter) {
+  ImprovedWindowSolver<NW> solver(opts);
+  return alignWindowed(solver, target, query, cfg, counter);
+}
+
+}  // namespace
+
+common::AlignmentResult alignWindowedBaseline(std::string_view target,
+                                              std::string_view query,
+                                              const WindowConfig& cfg,
+                                              util::MemStats* stats) {
+  const int nw = bitvector::wordsNeeded(cfg.window);
+  auto run = [&](auto counter) -> common::AlignmentResult {
+    switch (nw) {
+      case 1: return runBaseline<1>(target, query, cfg, counter);
+      case 2: return runBaseline<2>(target, query, cfg, counter);
+      case 3: return runBaseline<3>(target, query, cfg, counter);
+      case 4: return runBaseline<4>(target, query, cfg, counter);
+      default: return runBaseline<8>(target, query, cfg, counter);
+    }
+  };
+  if (stats) return run(util::CountingMemCounter(*stats));
+  return run(util::NullMemCounter{});
+}
+
+common::AlignmentResult alignWindowedImproved(std::string_view target,
+                                              std::string_view query,
+                                              const WindowConfig& cfg,
+                                              const ImprovedOptions& opts,
+                                              util::MemStats* stats) {
+  const int nw = bitvector::wordsNeeded(cfg.window);
+  auto run = [&](auto counter) -> common::AlignmentResult {
+    switch (nw) {
+      case 1: return runImproved<1>(target, query, cfg, opts, counter);
+      case 2: return runImproved<2>(target, query, cfg, opts, counter);
+      case 3: return runImproved<3>(target, query, cfg, opts, counter);
+      case 4: return runImproved<4>(target, query, cfg, opts, counter);
+      default: return runImproved<8>(target, query, cfg, opts, counter);
+    }
+  };
+  if (stats) return run(util::CountingMemCounter(*stats));
+  return run(util::NullMemCounter{});
+}
+
+}  // namespace gx::core

@@ -1,0 +1,71 @@
+#include "genasmx/genasm/genasm_baseline.hpp"
+
+#include <string>
+
+#include "genasmx/common/sequence.hpp"
+
+namespace gx::genasm {
+namespace {
+
+template <int NW, class Counter>
+common::AlignmentResult runGlobal(std::string_view target,
+                                  std::string_view query, int max_edits,
+                                  Counter counter) {
+  BaselineWindowSolver<NW> solver;
+  WindowSpec spec;
+  spec.anchor = Anchor::BothEnds;
+  spec.max_edits = max_edits;
+  const std::string t_rev = common::reversed(target);
+  const std::string q_rev = common::reversed(query);
+  WindowResult wr = solver.solve(t_rev, q_rev, spec, counter);
+  common::AlignmentResult out;
+  if (!wr.ok) return out;
+  out.ok = true;
+  out.edit_distance = wr.distance;
+  out.score = -wr.distance;
+  out.cigar = std::move(wr.cigar);
+  return out;
+}
+
+template <class Counter>
+common::AlignmentResult dispatch(std::string_view target,
+                                 std::string_view query, int max_edits,
+                                 Counter counter) {
+  switch (bitvector::wordsNeeded(static_cast<int>(query.size()))) {
+    case 1: return runGlobal<1>(target, query, max_edits, counter);
+    case 2: return runGlobal<2>(target, query, max_edits, counter);
+    case 3: return runGlobal<3>(target, query, max_edits, counter);
+    case 4: return runGlobal<4>(target, query, max_edits, counter);
+    case 5: return runGlobal<5>(target, query, max_edits, counter);
+    case 6: return runGlobal<6>(target, query, max_edits, counter);
+    case 7: return runGlobal<7>(target, query, max_edits, counter);
+    case 8: return runGlobal<8>(target, query, max_edits, counter);
+    default: return {};
+  }
+}
+
+}  // namespace
+
+common::AlignmentResult alignGlobalBaseline(std::string_view target,
+                                            std::string_view query,
+                                            int max_edits,
+                                            util::MemStats* stats) {
+  if (query.empty()) {
+    common::AlignmentResult r;
+    r.ok = true;
+    r.edit_distance = static_cast<int>(target.size());
+    r.score = -r.edit_distance;
+    if (!target.empty()) {
+      r.cigar.push(common::EditOp::Deletion,
+                   static_cast<std::uint32_t>(target.size()));
+    }
+    return r;
+  }
+  if (stats) {
+    return dispatch(target, query, max_edits,
+                    util::CountingMemCounter(*stats));
+  }
+  return dispatch(target, query, max_edits, util::NullMemCounter{});
+}
+
+}  // namespace gx::genasm

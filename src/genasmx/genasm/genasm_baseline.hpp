@@ -1,0 +1,214 @@
+#pragma once
+// Baseline GenASM window solver, reproducing the MICRO'20 algorithm the
+// paper improves upon:
+//
+//   * GenASM-DC runs column-major (one text character at a time, all
+//     distance levels per column), exactly like the hardware pipeline.
+//   * Every (column, level) entry stores all four transition bitvectors
+//     (match / substitution / deletion / insertion) for GenASM-TB.
+//   * No early termination and no storage pruning: the full
+//     n x (k+1) x 4 table is written for every problem.
+//
+// This is the comparator for all three of the paper's improvements; the
+// improved solver lives in genasmx/core/genasm_improved.hpp.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/bitvector/bitvector.hpp"
+#include "genasmx/common/cigar.hpp"
+#include "genasmx/genasm/genasm_common.hpp"
+#include "genasmx/util/mem_stats.hpp"
+
+namespace gx::genasm {
+
+template <int NW>
+class BaselineWindowSolver {
+ public:
+  using Vec = bitvector::BitVec<NW>;
+
+  /// Align pattern_rev against text_rev (both pre-reversed, see
+  /// genasm_common.hpp). Counter is the DP-memory instrumentation policy.
+  template <class Counter = util::NullMemCounter>
+  WindowResult solve(std::string_view text_rev, std::string_view pattern_rev,
+                     const WindowSpec& spec, Counter counter = Counter{}) {
+    WindowResult out;
+    const int n = static_cast<int>(text_rev.size());
+    const int m = static_cast<int>(pattern_rev.size());
+    if (m <= 0 || m > Vec::kBits) return out;
+    const int k = spec.max_edits >= 0 ? spec.max_edits
+                                      : autoEditCap(n, m, spec.anchor);
+    const int levels = k + 1;
+
+    // Logical per-problem DP footprint; scratch buffers are reused across
+    // calls, so footprint is accounted explicitly.
+    const std::uint64_t edge_bytes =
+        std::uint64_t(4) * std::uint64_t(n) * levels * sizeof(Vec);
+    const std::uint64_t col_bytes = std::uint64_t(2) * levels * sizeof(Vec);
+    counter.alloc(edge_bytes + col_bytes);
+    counter.problem();
+
+    const bitvector::PatternMasks<NW> masks(pattern_rev);
+    edges_.resize(static_cast<std::size_t>(n) * levels);
+    prev_.resize(levels);
+    cur_.resize(levels);
+
+    // Column 0: pattern prefix j+1 needs j+1 insertions.
+    for (int d = 0; d < levels; ++d) {
+      prev_[d] = Vec::onesAbove(d);
+      counter.store(NW);
+    }
+
+    // Column-major GenASM-DC.
+    for (int i = 1; i <= n; ++i) {
+      const Vec& pm = masks.forChar(text_rev[i - 1]);
+      Edges* col = &edges_[static_cast<std::size_t>(i - 1) * levels];
+      for (int d = 0; d < levels; ++d) {
+        // One load per entry: prev_[d]. The other operands are register-
+        // carried, as in the MICRO'20 pipeline: prev_[d-1] was read as
+        // prev_[d] on the previous level iteration and cur_[d-1] was just
+        // computed.
+        counter.load(NW);
+        const Vec match =
+            prev_[d].shl1(shiftInOne(spec.anchor, i - 1, d)) | pm;
+        Vec r = match;
+        Vec sub = Vec::allOnes();
+        Vec del = Vec::allOnes();
+        Vec ins = Vec::allOnes();
+        if (d > 0) {
+          sub = prev_[d - 1].shl1(shiftInOne(spec.anchor, i - 1, d - 1));
+          del = prev_[d - 1];
+          ins = cur_[d - 1].shl1(shiftInOne(spec.anchor, i, d - 1));
+          r = match & sub & del & ins;
+        }
+        cur_[d] = r;
+        col[d] = Edges{match, sub, del, ins};
+        counter.store(5 * NW);  // working entry + four stored edge vectors
+        counter.entry();
+      }
+      std::swap(prev_, cur_);
+    }
+    // GPU dependency-chain shape: the column-major pipeline drains after
+    // n columns + (k+1) levels of wavefront steps.
+    counter.wavefront(static_cast<std::uint64_t>(n) + levels);
+
+    // prev_ holds the final column; find the minimal solved level.
+    int dmin = -1;
+    for (int d = 0; d < levels; ++d) {
+      counter.load(NW);
+      if (!prev_[d].bit(m - 1)) {
+        dmin = d;
+        break;
+      }
+    }
+    if (dmin >= 0) {
+      out.distance = dmin;
+      out.ok = traceback(text_rev, spec, n, m, dmin, levels, out, counter);
+    }
+    counter.free(edge_bytes + col_bytes);
+    return out;
+  }
+
+ private:
+  struct Edges {
+    Vec match, sub, del, ins;
+  };
+
+  template <class Counter>
+  bool traceback(std::string_view text_rev, const WindowSpec& spec, int n,
+                 int m, int dmin, int levels, WindowResult& out,
+                 Counter& counter) {
+    (void)text_rev;
+    int i = n;
+    int pl = m;  // matched pattern prefix length
+    int d = dmin;
+    const std::uint64_t limit =
+        spec.tb_op_limit < 0 ? ~0ULL
+                             : static_cast<std::uint64_t>(spec.tb_op_limit);
+    std::uint64_t ops = 0;
+    const bool both = spec.anchor == Anchor::BothEnds;
+
+    while (pl > 0 || (both && i > 0)) {
+      if (ops >= limit) return true;  // truncated; traceback_complete stays false
+      if (pl == 0) {
+        // BothEnds tail: the unconsumed reversed-text prefix is the
+        // original window's trailing characters — emit deletions.
+        const std::uint64_t take =
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(i), limit - ops);
+        out.cigar.push(common::EditOp::Deletion,
+                       static_cast<std::uint32_t>(take));
+        ops += take;
+        i -= static_cast<int>(take);
+        d -= static_cast<int>(take);
+        continue;
+      }
+      if (i == 0) {
+        // Only insertions can remain; affordable iff pl <= d.
+        if (d >= 1 && pl <= d) {
+          out.cigar.push(common::EditOp::Insertion);
+          --pl;
+          --d;
+          ++ops;
+          continue;
+        }
+        return false;  // inconsistent table (must not happen)
+      }
+      const Edges& e =
+          edges_[static_cast<std::size_t>(i - 1) * levels + d];
+      counter.load(NW);
+      if (!e.match.bit(pl - 1)) {
+        out.cigar.push(common::EditOp::Match);
+        --i;
+        --pl;
+        ++ops;
+        continue;
+      }
+      if (d >= 1) {
+        counter.load(3 * NW);
+        // Indels take priority over substitutions so gap repairs commit
+        // as early (as leftmost) as possible. Any reachable-state walk
+        // emits exactly d_min edits, but windowed alignment discards each
+        // window's tail: deferring indels into the discarded suffix would
+        // leave the window cursors permanently off-diagonal.
+        if (!e.del.bit(pl - 1)) {
+          out.cigar.push(common::EditOp::Deletion);
+          --i;
+          --d;
+          ++ops;
+          continue;
+        }
+        if (!e.ins.bit(pl - 1)) {
+          out.cigar.push(common::EditOp::Insertion);
+          --pl;
+          --d;
+          ++ops;
+          continue;
+        }
+        if (!e.sub.bit(pl - 1)) {
+          out.cigar.push(common::EditOp::Mismatch);
+          --i;
+          --pl;
+          --d;
+          ++ops;
+          continue;
+        }
+      }
+      return false;  // inconsistent table (must not happen)
+    }
+    out.traceback_complete = true;
+    return true;
+  }
+
+  std::vector<Edges> edges_;
+  std::vector<Vec> prev_, cur_;
+};
+
+/// Convenience: fully global baseline alignment of query against target
+/// (both <= 512 characters; longer inputs go through the windowed driver
+/// in genasmx/core/windowed.hpp). Reverses internally.
+[[nodiscard]] common::AlignmentResult alignGlobalBaseline(
+    std::string_view target, std::string_view query, int max_edits = -1,
+    util::MemStats* stats = nullptr);
+
+}  // namespace gx::genasm

@@ -1,0 +1,70 @@
+#pragma once
+// Shared definitions for the GenASM window solvers (baseline and improved).
+//
+// Orientation convention
+// ----------------------
+// Window solvers receive the text and pattern windows *reversed*. The
+// Bitap automaton naturally allows a match to begin at any text position
+// (free text prefix in solver orientation); on reversed inputs this frees
+// the *end* of the original window — exactly the lookahead GenASM's
+// windowing heuristic needs — while anchoring the original *start* of
+// both sequences. Traceback walks from the automaton's end state, so
+// operations are emitted front-to-back in original orientation and the
+// windowing driver can commit the first W-O of them directly.
+//
+// Anchoring
+// ---------
+//   StartOnly : original text start anchored, original text end free
+//               (the normal mid-read window mode).
+//   BothEnds  : fully global; implemented by feeding a 1 into bit 0 on
+//               every shift unless the empty-prefix state is still
+//               affordable (i <= d), see BitVec::shl1.
+
+#include <string_view>
+
+#include "genasmx/common/cigar.hpp"
+#include "genasmx/util/mem_stats.hpp"
+
+namespace gx::genasm {
+
+enum class Anchor {
+  StartOnly,  ///< anchored at original start; original text end free
+  BothEnds,   ///< global alignment of the two windows
+};
+
+/// One window-alignment request (solver orientation, i.e. pre-reversed).
+struct WindowSpec {
+  Anchor anchor = Anchor::StartOnly;
+  int max_edits = -1;    ///< level cap k; -1 selects the always-solvable cap
+  int tb_op_limit = -1;  ///< emit at most this many traceback ops; -1 = all
+};
+
+/// Window-alignment outcome. The cigar is in original orientation,
+/// truncated to tb_op_limit operations when a limit was set.
+struct WindowResult {
+  bool ok = false;
+  int distance = -1;          ///< d_min found by the distance calculation
+  common::Cigar cigar;        ///< possibly truncated (see tb_op_limit)
+  bool traceback_complete = false;  ///< false iff truncated by the limit
+};
+
+/// The always-solvable per-window level cap: with a free text end the
+/// worst case is inserting the whole pattern (m); fully global alignment
+/// additionally needs to delete all text (max(n, m) edits).
+[[nodiscard]] constexpr int autoEditCap(int text_len, int pattern_len,
+                                        Anchor anchor) noexcept {
+  return anchor == Anchor::StartOnly ? pattern_len
+                                     : (text_len > pattern_len ? text_len
+                                                               : pattern_len);
+}
+
+/// Empty-prefix ("bit -1") availability: in StartOnly mode the automaton
+/// may begin matching at any text offset, so the state is always free; in
+/// BothEnds mode it costs one deletion per skipped text character and is
+/// affordable only while i <= d. Returns the *bit value* shifted into bit
+/// 0 (active-low: 0 = state available).
+[[nodiscard]] constexpr bool shiftInOne(Anchor anchor, int i, int d) noexcept {
+  return anchor == Anchor::BothEnds && i > d;
+}
+
+}  // namespace gx::genasm

@@ -1,0 +1,32 @@
+#include "genasmx/gpusim/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gx::gpusim {
+
+LaunchStats Device::launch(
+    int grid, int block_threads,
+    const std::function<void(BlockContext&)>& block_program) {
+  if (grid < 0) throw std::invalid_argument("gpusim: negative grid");
+  if (block_threads < 1 || block_threads > 1024) {
+    throw std::invalid_argument("gpusim: block size must be in [1, 1024]");
+  }
+  LaunchStats stats;
+  stats.grid = grid;
+  stats.block_threads = block_threads;
+  for (int b = 0; b < grid; ++b) {
+    BlockContext ctx(b, block_threads, spec_.shared_mem_per_block);
+    block_program(ctx);
+    stats.total_ops += ctx.ops();
+    stats.critical_cycles_total += ctx.criticalCycles();
+    stats.global_bytes += ctx.globalBytes();
+    stats.shared_bytes += ctx.sharedBytes();
+    stats.failed_shared_allocs += ctx.failedSharedAllocs();
+    stats.shared_per_block = std::max(stats.shared_per_block,
+                                      ctx.sharedHighWater());
+  }
+  return stats;
+}
+
+}  // namespace gx::gpusim

@@ -1,0 +1,44 @@
+#include "genasmx/gpusim/perf_model.hpp"
+
+#include <algorithm>
+
+namespace gx::gpusim {
+
+int blocksPerSm(const DeviceSpec& spec, int block_threads,
+                std::size_t shared_per_block) noexcept {
+  int blocks = spec.max_blocks_per_sm;
+  blocks = std::min(blocks, spec.max_threads_per_sm / std::max(1, block_threads));
+  if (shared_per_block > 0) {
+    blocks = std::min(
+        blocks, static_cast<int>(spec.shared_mem_per_sm / shared_per_block));
+  }
+  return std::max(blocks, 1);
+}
+
+TimeBreakdown modelTime(const DeviceSpec& spec,
+                        const LaunchStats& stats) noexcept {
+  TimeBreakdown t;
+  t.blocks_per_sm =
+      blocksPerSm(spec, stats.block_threads, stats.shared_per_block);
+  t.occupancy =
+      std::min(1.0, static_cast<double>(t.blocks_per_sm) *
+                        stats.block_threads / spec.max_threads_per_sm);
+  const double clock_hz = spec.core_clock_ghz * 1e9;
+
+  t.compute_s = stats.total_ops /
+                (spec.num_sms * spec.issue_ops_per_cycle_per_sm * clock_hz);
+  t.dram_s = static_cast<double>(stats.global_bytes) /
+             (spec.dram_bandwidth_gbps * 1e9);
+  t.shared_s = static_cast<double>(stats.shared_bytes) /
+               (spec.num_sms * spec.shared_bytes_per_cycle_per_sm * clock_hz);
+  // Dependency chains: with C blocks resident device-wide, the summed
+  // critical path drains at C chains at a time (1 step/cycle each).
+  const double concurrency =
+      static_cast<double>(t.blocks_per_sm) * spec.num_sms;
+  t.latency_s = stats.critical_cycles_total / (concurrency * clock_hz);
+
+  t.total_s = std::max({t.compute_s, t.dram_s, t.shared_s, t.latency_s});
+  return t;
+}
+
+}  // namespace gx::gpusim

@@ -1,0 +1,31 @@
+#pragma once
+// Analytical (roofline + dependency-chain) timing model for the GPU
+// simulator. The model is deliberately simple and fully documented: time
+// is the maximum of four independently-derived bounds. Absolute numbers
+// carry the usual analytical-model uncertainty; the *ratios* between
+// kernels — which is what the paper's E2/E5 experiments compare — are
+// driven by counted work and the shared-vs-DRAM capacity cliff.
+
+#include "genasmx/gpusim/device.hpp"
+
+namespace gx::gpusim {
+
+struct TimeBreakdown {
+  double compute_s = 0;  ///< total ops / (SMs x issue rate x clock)
+  double dram_s = 0;     ///< global traffic / DRAM bandwidth
+  double shared_s = 0;   ///< shared traffic / aggregate shared bandwidth
+  double latency_s = 0;  ///< dependency chains / concurrent blocks
+  double total_s = 0;    ///< max of the four bounds
+  int blocks_per_sm = 0;
+  double occupancy = 0;  ///< resident threads / max threads per SM
+};
+
+/// Occupancy: how many blocks one SM can host given thread and shared-
+/// memory budgets (CUDA's standard limiter set).
+[[nodiscard]] int blocksPerSm(const DeviceSpec& spec, int block_threads,
+                              std::size_t shared_per_block) noexcept;
+
+[[nodiscard]] TimeBreakdown modelTime(const DeviceSpec& spec,
+                                      const LaunchStats& stats) noexcept;
+
+}  // namespace gx::gpusim

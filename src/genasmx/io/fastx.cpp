@@ -1,0 +1,102 @@
+#include "genasmx/io/fastx.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gx::io {
+namespace {
+
+void splitHeader(std::string_view line, FastxRecord& rec) {
+  const std::size_t ws = line.find_first_of(" \t");
+  if (ws == std::string_view::npos) {
+    rec.name = std::string(line);
+  } else {
+    rec.name = std::string(line.substr(0, ws));
+    const std::size_t rest = line.find_first_not_of(" \t", ws);
+    if (rest != std::string_view::npos) {
+      rec.comment = std::string(line.substr(rest));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FastxRecord> readFastx(std::istream& in) {
+  std::vector<FastxRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line[0] == '>') {
+      FastxRecord rec;
+      splitHeader(std::string_view(line).substr(1), rec);
+      // Sequence lines until the next header or EOF.
+      while (in.peek() != '>' && in.peek() != '@' && in.peek() != EOF) {
+        std::string seq_line;
+        if (!std::getline(in, seq_line)) break;
+        if (!seq_line.empty() && seq_line.back() == '\r') seq_line.pop_back();
+        rec.seq += seq_line;
+      }
+      records.push_back(std::move(rec));
+    } else if (line[0] == '@') {
+      FastxRecord rec;
+      splitHeader(std::string_view(line).substr(1), rec);
+      if (!std::getline(in, rec.seq)) {
+        throw std::runtime_error("fastx: truncated FASTQ record " + rec.name);
+      }
+      std::string plus;
+      if (!std::getline(in, plus) || plus.empty() || plus[0] != '+') {
+        throw std::runtime_error("fastx: missing '+' line in " + rec.name);
+      }
+      if (!std::getline(in, rec.qual)) {
+        throw std::runtime_error("fastx: missing quality line in " + rec.name);
+      }
+      if (!rec.seq.empty() && rec.seq.back() == '\r') rec.seq.pop_back();
+      if (!rec.qual.empty() && rec.qual.back() == '\r') rec.qual.pop_back();
+      if (rec.qual.size() != rec.seq.size()) {
+        throw std::runtime_error("fastx: quality/sequence length mismatch in " +
+                                 rec.name);
+      }
+      records.push_back(std::move(rec));
+    } else {
+      throw std::runtime_error("fastx: unexpected line: " + line);
+    }
+  }
+  return records;
+}
+
+std::vector<FastxRecord> readFastxFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("fastx: cannot open " + path);
+  return readFastx(in);
+}
+
+void writeFastx(std::ostream& out, const std::vector<FastxRecord>& records,
+                std::size_t line_width) {
+  for (const auto& rec : records) {
+    if (!rec.qual.empty()) {
+      out << '@' << rec.name;
+      if (!rec.comment.empty()) out << ' ' << rec.comment;
+      out << '\n' << rec.seq << "\n+\n" << rec.qual << '\n';
+    } else {
+      out << '>' << rec.name;
+      if (!rec.comment.empty()) out << ' ' << rec.comment;
+      out << '\n';
+      for (std::size_t i = 0; i < rec.seq.size(); i += line_width) {
+        out << std::string_view(rec.seq).substr(i, line_width) << '\n';
+      }
+      if (rec.seq.empty()) out << '\n';
+    }
+  }
+}
+
+void writeFastxFile(const std::string& path,
+                    const std::vector<FastxRecord>& records,
+                    std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("fastx: cannot open " + path);
+  writeFastx(out, records, line_width);
+}
+
+}  // namespace gx::io

@@ -1,0 +1,32 @@
+#pragma once
+// Minimal FASTA/FASTQ reading and writing (uncompressed), enough to move
+// workloads in and out of the pipeline and interoperate with standard
+// tooling.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gx::io {
+
+struct FastxRecord {
+  std::string name;     ///< header without '>'/'@' and without comment
+  std::string comment;  ///< text after the first whitespace, if any
+  std::string seq;
+  std::string qual;  ///< empty for FASTA
+};
+
+/// Parse all records from a stream; auto-detects FASTA vs FASTQ per
+/// record. Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<FastxRecord> readFastx(std::istream& in);
+[[nodiscard]] std::vector<FastxRecord> readFastxFile(const std::string& path);
+
+/// Write records: FASTQ if a record has quality, FASTA otherwise.
+void writeFastx(std::ostream& out, const std::vector<FastxRecord>& records,
+                std::size_t line_width = 80);
+void writeFastxFile(const std::string& path,
+                    const std::vector<FastxRecord>& records,
+                    std::size_t line_width = 80);
+
+}  // namespace gx::io

@@ -1,0 +1,30 @@
+#include "genasmx/io/paf.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace gx::io {
+
+void finalizeFromCigar(PafRecord& rec) {
+  rec.matches = rec.cigar.count(common::EditOp::Match);
+  rec.alignment_len = rec.cigar.opCount();
+}
+
+std::string toPafLine(const PafRecord& rec) {
+  std::ostringstream os;
+  os << rec.query_name << '\t' << rec.query_len << '\t' << rec.query_begin
+     << '\t' << rec.query_end << '\t' << (rec.reverse ? '-' : '+') << '\t'
+     << rec.target_name << '\t' << rec.target_len << '\t' << rec.target_begin
+     << '\t' << rec.target_end << '\t' << rec.matches << '\t'
+     << rec.alignment_len << '\t' << rec.mapq;
+  if (!rec.cigar.empty()) {
+    os << "\tcg:Z:" << rec.cigar.str();
+  }
+  return os.str();
+}
+
+void writePaf(std::ostream& out, const PafRecord& rec) {
+  out << toPafLine(rec) << '\n';
+}
+
+}  // namespace gx::io

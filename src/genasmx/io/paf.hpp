@@ -1,0 +1,36 @@
+#pragma once
+// PAF (Pairwise mApping Format) records — minimap2's output format —
+// with the cg:Z: CIGAR extension tag.
+
+#include <iosfwd>
+#include <string>
+
+#include "genasmx/common/cigar.hpp"
+
+namespace gx::io {
+
+struct PafRecord {
+  std::string query_name;
+  std::size_t query_len = 0;
+  std::size_t query_begin = 0;
+  std::size_t query_end = 0;
+  bool reverse = false;
+  std::string target_name;
+  std::size_t target_len = 0;
+  std::size_t target_begin = 0;
+  std::size_t target_end = 0;
+  std::size_t matches = 0;        ///< residue matches
+  std::size_t alignment_len = 0;  ///< alignment block length
+  int mapq = 255;
+  common::Cigar cigar;  ///< optional; emitted as cg:Z: when non-empty
+};
+
+/// Build the aggregate fields (matches, alignment_len) from the cigar.
+void finalizeFromCigar(PafRecord& rec);
+
+/// Serialize one record as a PAF line (no trailing newline).
+[[nodiscard]] std::string toPafLine(const PafRecord& rec);
+
+void writePaf(std::ostream& out, const PafRecord& rec);
+
+}  // namespace gx::io

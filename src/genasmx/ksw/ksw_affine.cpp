@@ -1,0 +1,242 @@
+#include "genasmx/ksw/ksw_affine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gx::ksw {
+namespace {
+
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+struct Band {
+  // For target row i, query columns [lo(i), hi(i)] are inside the band.
+  int dlo, dhi;  // j - i in [dlo, dhi]
+  int m;         // query length
+
+  [[nodiscard]] int lo(int i) const noexcept { return std::max(0, i + dlo); }
+  [[nodiscard]] int hi(int i) const noexcept { return std::min(m, i + dhi); }
+};
+
+Band makeBand(int n, int m, int band) {
+  Band b;
+  b.m = m;
+  if (band < 0) {
+    b.dlo = -n;
+    b.dhi = m;
+  } else {
+    b.dlo = std::min(0, m - n) - band;
+    b.dhi = std::max(0, m - n) + band;
+  }
+  return b;
+}
+
+}  // namespace
+
+int KswAligner::score(std::string_view target, std::string_view query) {
+  const int n = static_cast<int>(target.size());
+  const int m = static_cast<int>(query.size());
+  const auto& p = cfg_.params;
+  if (m == 0) return n == 0 ? 0 : -(p.gap_open + p.gap_extend * n);
+  if (n == 0) return -(p.gap_open + p.gap_extend * m);
+  const Band band = makeBand(n, m, cfg_.band);
+
+  // h_[j] = H(i-1, j) at loop entry (kNegInf outside the previous band);
+  // e_[j] = E(i-1, j). hcur_ receives row i.
+  h_.assign(m + 1, kNegInf);
+  e_.assign(m + 1, kNegInf);
+  hcur_.assign(m + 1, kNegInf);
+  h_[0] = 0;
+  for (int j = 1; j <= band.hi(0); ++j) {
+    h_[j] = -(p.gap_open + p.gap_extend * j);
+  }
+  for (int i = 1; i <= n; ++i) {
+    const int lo = band.lo(i);
+    const int hi = band.hi(i);
+    // Clear only the band slice (plus one-cell margins) of the buffer
+    // being reused; cells further out are never read (bands move right
+    // monotonically), keeping banded rows O(band), not O(m).
+    std::fill(hcur_.begin() + std::max(0, lo - 1),
+              hcur_.begin() + std::min(m, hi + 1) + 1, kNegInf);
+    if (lo == 0) hcur_[0] = -(p.gap_open + p.gap_extend * i);
+    std::int32_t f = kNegInf;
+    for (int j = std::max(1, lo); j <= hi; ++j) {
+      const std::int32_t e_open =
+          h_[j] == kNegInf ? kNegInf : h_[j] - p.gap_open - p.gap_extend;
+      const std::int32_t e_ext =
+          e_[j] == kNegInf ? kNegInf : e_[j] - p.gap_extend;
+      const std::int32_t e_val = std::max(e_open, e_ext);
+      const std::int32_t f_open =
+          hcur_[j - 1] == kNegInf ? kNegInf
+                                  : hcur_[j - 1] - p.gap_open - p.gap_extend;
+      f = std::max(f == kNegInf ? kNegInf : f - p.gap_extend, f_open);
+      const std::int32_t d0 = h_[j - 1];
+      const std::int32_t dscore =
+          d0 == kNegInf
+              ? kNegInf
+              : d0 + (target[i - 1] == query[j - 1] ? p.match : -p.mismatch);
+      hcur_[j] = std::max({dscore, e_val, f});
+      e_[j] = e_val;
+    }
+    std::swap(h_, hcur_);
+  }
+  return h_[m] <= kNegInf / 2 ? kNegInf : h_[m];
+}
+
+common::AlignmentResult KswAligner::align(std::string_view target,
+                                          std::string_view query) {
+  const int n = static_cast<int>(target.size());
+  const int m = static_cast<int>(query.size());
+  const auto& p = cfg_.params;
+  common::AlignmentResult res;
+  if (m == 0 || n == 0) {
+    res.ok = true;
+    if (n > 0) {
+      res.cigar.push(common::EditOp::Deletion, static_cast<std::uint32_t>(n));
+      res.score = -(p.gap_open + p.gap_extend * n);
+    } else if (m > 0) {
+      res.cigar.push(common::EditOp::Insertion, static_cast<std::uint32_t>(m));
+      res.score = -(p.gap_open + p.gap_extend * m);
+    }
+    res.edit_distance = static_cast<int>(res.cigar.editDistance());
+    return res;
+  }
+
+  const Band band = makeBand(n, m, cfg_.band);
+  const int width = band.dhi - band.dlo + 1;  // banded row width
+  auto dirIndex = [&](int i, int j) {
+    return static_cast<std::size_t>(i - 1) * width + (j - i - band.dlo);
+  };
+  dir_.assign(static_cast<std::size_t>(n) * width, 0);
+
+  // Full H/E rows with band masking (kNegInf outside).
+  std::vector<std::int32_t> hrow(m + 1, kNegInf), erow(m + 1, kNegInf);
+  std::vector<std::int32_t> hprev(m + 1, kNegInf);
+  hrow[0] = 0;
+  for (int j = 1; j <= band.hi(0); ++j) {
+    hrow[j] = -(p.gap_open + p.gap_extend * j);
+  }
+  for (int i = 1; i <= n; ++i) {
+    std::swap(hprev, hrow);
+    const int lo = band.lo(i);
+    const int hi = band.hi(i);
+    std::fill(hrow.begin() + std::max(0, lo - 1),
+              hrow.begin() + std::min(m, hi + 1) + 1, kNegInf);
+    if (lo == 0) hrow[0] = -(p.gap_open + p.gap_extend * i);
+    std::int32_t f = kNegInf;
+    for (int j = std::max(1, lo); j <= hi; ++j) {
+      std::uint8_t dir = 0;
+      // E (vertical gap, consumes target).
+      const std::int32_t e_open = hprev[j] == kNegInf
+                                      ? kNegInf
+                                      : hprev[j] - p.gap_open - p.gap_extend;
+      const std::int32_t e_ext =
+          erow[j] == kNegInf ? kNegInf : erow[j] - p.gap_extend;
+      const std::int32_t e_val = std::max(e_open, e_ext);
+      if (e_ext > e_open) dir |= 4;  // E extends
+      // F (horizontal gap, consumes query).
+      const std::int32_t f_open = hrow[j - 1] == kNegInf
+                                      ? kNegInf
+                                      : hrow[j - 1] - p.gap_open - p.gap_extend;
+      const std::int32_t f_ext = f == kNegInf ? kNegInf : f - p.gap_extend;
+      f = std::max(f_open, f_ext);
+      if (f_ext > f_open) dir |= 8;  // F extends
+      // Diagonal.
+      const std::int32_t d0 = hprev[j - 1];
+      const std::int32_t dscore =
+          d0 == kNegInf
+              ? kNegInf
+              : d0 + (target[i - 1] == query[j - 1] ? p.match : -p.mismatch);
+      std::int32_t hval = dscore;  // dir 0 = diag (preferred on ties)
+      if (e_val > hval) {
+        hval = e_val;
+        dir = (dir & ~3u) | 1;
+      }
+      if (f > hval) {
+        hval = f;
+        dir = (dir & ~3u) | 2;
+      }
+      hrow[j] = hval;
+      erow[j] = e_val;
+      dir_[dirIndex(i, j)] = dir;
+    }
+    // Mask stale E values outside the band for the next row.
+    if (lo > 0) erow[lo - 1] = kNegInf;
+  }
+  if (hrow[m] <= kNegInf / 2) return res;  // band never reached the corner
+  res.score = hrow[m];
+
+  // Traceback across the three-layer automaton.
+  enum Layer { LH, LE, LF };
+  Layer layer = LH;
+  int i = n, j = m;
+  std::vector<common::CigarUnit> rev;
+  auto pushRev = [&rev](common::EditOp op) {
+    if (!rev.empty() && rev.back().op == op) {
+      ++rev.back().len;
+    } else {
+      rev.push_back({op, 1});
+    }
+  };
+  while (i > 0 || j > 0) {
+    if (i == 0) {
+      pushRev(common::EditOp::Insertion);
+      --j;
+      continue;
+    }
+    if (j == 0) {
+      pushRev(common::EditOp::Deletion);
+      --i;
+      continue;
+    }
+    const std::uint8_t dir = dir_[dirIndex(i, j)];
+    if (layer == LH) {
+      switch (dir & 3) {
+        case 0: {
+          const bool eq = target[i - 1] == query[j - 1];
+          pushRev(eq ? common::EditOp::Match : common::EditOp::Mismatch);
+          --i;
+          --j;
+          break;
+        }
+        case 1:
+          layer = LE;
+          break;
+        default:
+          layer = LF;
+          break;
+      }
+      continue;
+    }
+    if (layer == LE) {
+      pushRev(common::EditOp::Deletion);  // vertical gap consumes target
+      layer = (dir & 4) ? LE : LH;
+      --i;
+      continue;
+    }
+    // LF
+    pushRev(common::EditOp::Insertion);
+    layer = (dir & 8) ? LF : LH;
+    --j;
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    res.cigar.push(it->op, it->len);
+  }
+  res.ok = true;
+  res.edit_distance = static_cast<int>(res.cigar.editDistance());
+  return res;
+}
+
+int kswScore(std::string_view target, std::string_view query,
+             const KswConfig& cfg) {
+  KswAligner aligner(cfg);
+  return aligner.score(target, query);
+}
+
+common::AlignmentResult kswAlign(std::string_view target,
+                                 std::string_view query,
+                                 const KswConfig& cfg) {
+  KswAligner aligner(cfg);
+  return aligner.align(target, query);
+}
+
+}  // namespace gx::ksw

@@ -1,0 +1,37 @@
+#pragma once
+// Anchor chaining (minimap2's chaining DP, simplified): given co-linear
+// seed anchors between a read and the reference, find high-scoring chains
+// under a gap-cost model. All chains above the threshold are returned,
+// mirroring the paper's use of minimap2 -P (keep all secondary chains).
+
+#include <cstdint>
+#include <vector>
+
+namespace gx::mapper {
+
+struct Anchor {
+  std::uint32_t read_pos;
+  std::uint32_t ref_pos;
+};
+
+struct ChainParams {
+  int kmer = 15;            ///< anchor width (score unit)
+  int max_gap = 2'000;      ///< max ref/read gap between chained anchors
+  int lookback = 64;        ///< DP predecessor window
+  int min_anchors = 3;      ///< minimum anchors per emitted chain
+  double gap_scale = 0.05;  ///< per-base penalty for gap-length mismatch
+};
+
+struct Chain {
+  double score = 0;
+  std::uint32_t read_begin = 0, read_end = 0;  ///< [begin, end) read span
+  std::uint32_t ref_begin = 0, ref_end = 0;    ///< [begin, end) ref span
+  int anchors = 0;
+};
+
+/// Chain `anchors` (single strand). Anchors are sorted internally.
+/// Returns all chains with >= min_anchors anchors, best first.
+[[nodiscard]] std::vector<Chain> chainAnchors(std::vector<Anchor> anchors,
+                                              const ChainParams& params);
+
+}  // namespace gx::mapper

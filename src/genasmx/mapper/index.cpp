@@ -1,0 +1,63 @@
+#include "genasmx/mapper/index.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "genasmx/mapper/minimizer.hpp"
+
+namespace gx::mapper {
+
+void MinimizerIndex::build(std::string_view genome, int k, int w,
+                           int max_occ) {
+  k_ = k;
+  w_ = w;
+  const auto mins = extractMinimizers(genome, k, w);
+  keys_.resize(mins.size());
+  values_.resize(mins.size());
+  std::vector<std::size_t> order(mins.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return mins[a].key < mins[b].key;
+  });
+  std::size_t out = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && mins[order[j]].key == mins[order[i]].key) ++j;
+    if (j - i <= static_cast<std::size_t>(max_occ)) {
+      for (std::size_t t = i; t < j; ++t) {
+        const Minimizer& m = mins[order[t]];
+        keys_[out] = m.key;
+        values_[out] =
+            (static_cast<std::uint64_t>(m.pos) << 1) | (m.reverse ? 1 : 0);
+        ++out;
+      }
+    }
+    i = j;
+  }
+  keys_.resize(out);
+  values_.resize(out);
+}
+
+std::size_t MinimizerIndex::distinctKeys() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    n += i == 0 || keys_[i] != keys_[i - 1];
+  }
+  return n;
+}
+
+std::vector<IndexHit> MinimizerIndex::lookup(std::uint64_t key) const {
+  std::vector<IndexHit> hits;
+  auto [lo, hi] = std::equal_range(keys_.begin(), keys_.end(), key);
+  const std::size_t begin = static_cast<std::size_t>(lo - keys_.begin());
+  const std::size_t end = static_cast<std::size_t>(hi - keys_.begin());
+  hits.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    hits.push_back(IndexHit{static_cast<std::uint32_t>(values_[i] >> 1),
+                            (values_[i] & 1) != 0});
+  }
+  return hits;
+}
+
+}  // namespace gx::mapper

@@ -1,0 +1,43 @@
+#pragma once
+// Sorted-array minimizer index over a reference genome (minimap2-style):
+// build once, then O(log N) lookups returning all reference positions of
+// a minimizer. Over-represented minimizers (repeats) are masked with an
+// occurrence cap, like minimap2's -f filtering.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gx::mapper {
+
+/// Packed index entry value: position << 1 | strand.
+struct IndexHit {
+  std::uint32_t pos;
+  bool reverse;
+};
+
+class MinimizerIndex {
+ public:
+  MinimizerIndex() = default;
+
+  /// Build over `genome` with minimizer parameters (k, w). Minimizers
+  /// occurring more than max_occ times are dropped.
+  void build(std::string_view genome, int k, int w, int max_occ);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int w() const noexcept { return w_; }
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] std::size_t distinctKeys() const noexcept;
+
+  /// All reference hits of `key` (empty if unknown or masked).
+  [[nodiscard]] std::vector<IndexHit> lookup(std::uint64_t key) const;
+
+ private:
+  int k_ = 0;
+  int w_ = 0;
+  std::vector<std::uint64_t> keys_;    ///< sorted
+  std::vector<std::uint64_t> values_;  ///< pos << 1 | strand, same order
+};
+
+}  // namespace gx::mapper

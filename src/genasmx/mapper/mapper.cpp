@@ -1,0 +1,81 @@
+#include "genasmx/mapper/mapper.hpp"
+
+#include <algorithm>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/mapper/minimizer.hpp"
+
+namespace gx::mapper {
+
+Mapper::Mapper(std::string genome, MapperConfig cfg)
+    : genome_(std::move(genome)), cfg_(cfg) {
+  cfg_.chain.kmer = cfg_.k;
+  index_.build(genome_, cfg_.k, cfg_.w, cfg_.max_occ);
+}
+
+std::vector<Candidate> Mapper::map(std::string_view read) const {
+  std::vector<Candidate> out;
+  const auto read_mins = extractMinimizers(read, cfg_.k, cfg_.w);
+  if (read_mins.empty()) return out;
+
+  // Split anchors by relative strand. For minus-strand anchors, flip the
+  // read coordinate so chaining sees a co-linear picture.
+  std::vector<Anchor> fwd, rev;
+  const std::uint32_t rl = static_cast<std::uint32_t>(read.size());
+  for (const auto& m : read_mins) {
+    for (const auto& hit : index_.lookup(m.key)) {
+      const bool opposite = hit.reverse != m.reverse;
+      if (!opposite) {
+        fwd.push_back(Anchor{m.pos, hit.pos});
+      } else {
+        rev.push_back(
+            Anchor{rl - m.pos - static_cast<std::uint32_t>(cfg_.k), hit.pos});
+      }
+    }
+  }
+
+  auto emit = [&](std::vector<Anchor> anchors, bool reverse) {
+    for (const Chain& c : chainAnchors(std::move(anchors), cfg_.chain)) {
+      Candidate cand;
+      cand.reverse = reverse;
+      cand.score = c.score;
+      cand.anchors = c.anchors;
+      // Extend the chain's reference span by the unchained read flanks
+      // plus a fixed margin, clamped to the genome.
+      const std::size_t left_flank = c.read_begin + cfg_.margin;
+      const std::size_t right_flank =
+          (read.size() - c.read_end) + cfg_.margin;
+      cand.ref_begin =
+          c.ref_begin > left_flank ? c.ref_begin - left_flank : 0;
+      cand.ref_end = std::min(genome_.size(),
+                              static_cast<std::size_t>(c.ref_end) + right_flank);
+      out.push_back(cand);
+    }
+  };
+  emit(std::move(fwd), false);
+  emit(std::move(rev), true);
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+std::vector<AlignmentPair> buildAlignmentPairs(const Mapper& mapper,
+                                               std::string_view read,
+                                               std::size_t max_candidates) {
+  std::vector<AlignmentPair> pairs;
+  const auto candidates = mapper.map(read);
+  const std::size_t n = std::min(candidates.size(), max_candidates);
+  pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Candidate& c = candidates[i];
+    AlignmentPair p;
+    p.target = std::string(mapper.candidateText(c));
+    p.query = c.reverse ? common::reverseComplement(read) : std::string(read);
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+}  // namespace gx::mapper

@@ -1,0 +1,73 @@
+#pragma once
+// End-to-end candidate generation: minimizer seeding + chaining over a
+// reference genome, producing the (read, reference window) pairs the
+// aligners consume. Substitutes "minimap2 with -P" in the paper's
+// methodology (all chains kept, primary and secondary).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/mapper/chain.hpp"
+#include "genasmx/mapper/index.hpp"
+
+namespace gx::mapper {
+
+struct MapperConfig {
+  int k = 15;
+  int w = 10;
+  int max_occ = 64;       ///< minimizer occurrence cap (repeat masking)
+  ChainParams chain{};    ///< chain.kmer is forced to k
+  /// Reference slack added around each chain. Must stay *below* the
+  /// aligner's window size: GenASM windowed alignment is start-anchored
+  /// (candidates come from base-accurate chain starts, as in the original
+  /// GenASM pipeline), and a junk flank of a full window would leave the
+  /// first window with no signal to lock onto.
+  std::size_t margin = 16;
+};
+
+struct Candidate {
+  std::size_t ref_begin = 0;  ///< candidate reference window [begin, end)
+  std::size_t ref_end = 0;
+  bool reverse = false;  ///< read maps to the reverse strand
+  double score = 0;
+  int anchors = 0;
+};
+
+class Mapper {
+ public:
+  Mapper(std::string genome, MapperConfig cfg = {});
+
+  [[nodiscard]] const std::string& genome() const noexcept { return genome_; }
+  [[nodiscard]] const MapperConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const MinimizerIndex& index() const noexcept { return index_; }
+
+  /// All candidate locations for `read`, best chain first.
+  [[nodiscard]] std::vector<Candidate> map(std::string_view read) const;
+
+  /// The reference text of a candidate window.
+  [[nodiscard]] std::string_view candidateText(const Candidate& c) const {
+    return std::string_view(genome_).substr(c.ref_begin,
+                                            c.ref_end - c.ref_begin);
+  }
+
+ private:
+  std::string genome_;
+  MapperConfig cfg_;
+  MinimizerIndex index_;
+};
+
+/// A ready-to-align pair: reference window text plus the read oriented to
+/// the mapping strand.
+struct AlignmentPair {
+  std::string target;  ///< reference window
+  std::string query;   ///< read (reverse-complemented for minus strand)
+};
+
+/// Expand a read's candidates into alignment pairs (the benchmark unit).
+[[nodiscard]] std::vector<AlignmentPair> buildAlignmentPairs(
+    const Mapper& mapper, std::string_view read,
+    std::size_t max_candidates = ~std::size_t(0));
+
+}  // namespace gx::mapper

@@ -1,0 +1,58 @@
+#include "genasmx/mapper/minimizer.hpp"
+
+#include <stdexcept>
+
+#include "genasmx/common/sequence.hpp"
+
+namespace gx::mapper {
+
+std::vector<Minimizer> extractMinimizers(std::string_view seq, int k, int w) {
+  if (k < 4 || k > 31) throw std::invalid_argument("minimizer: k in [4,31]");
+  if (w < 1) throw std::invalid_argument("minimizer: w >= 1");
+  std::vector<Minimizer> out;
+  const std::size_t n = seq.size();
+  if (n < static_cast<std::size_t>(k)) return out;
+
+  const std::uint64_t mask = (k == 32) ? ~0ULL : ((1ULL << (2 * k)) - 1);
+  const int shift = 2 * (k - 1);
+  std::uint64_t fwd = 0, rev = 0;
+
+  // Ring buffer of the last w k-mer ranks.
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t pos;
+    bool reverse;
+  };
+  std::vector<Entry> ring(static_cast<std::size_t>(w));
+  std::uint32_t last_pos = ~0u;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t code = common::baseCode(seq[i]);
+    fwd = ((fwd << 2) | code) & mask;
+    rev = (rev >> 2) | ((3ULL ^ code) << shift);
+    if (i + 1 < static_cast<std::size_t>(k)) continue;
+    const std::uint32_t pos = static_cast<std::uint32_t>(i + 1 - k);
+    const bool use_rev = rev < fwd;
+    const std::uint64_t key = hash64(use_rev ? rev : fwd);
+    ring[pos % w] = Entry{key, pos, use_rev};
+
+    const std::size_t kmers_seen = pos + 1;
+    if (kmers_seen < static_cast<std::size_t>(w)) continue;
+    // Rescan the window for its minimum; w is small (<= ~32) so this
+    // stays cache-resident and branch-predictable.
+    const Entry* best = &ring[0];
+    for (int r = 1; r < w; ++r) {
+      if (ring[r].key < best->key ||
+          (ring[r].key == best->key && ring[r].pos > best->pos)) {
+        best = &ring[r];
+      }
+    }
+    if (best->pos != last_pos) {
+      out.push_back(Minimizer{best->key, best->pos, best->reverse});
+      last_pos = best->pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace gx::mapper

@@ -1,0 +1,31 @@
+#pragma once
+// (w,k)-minimizer extraction (Roberts et al. 2004; minimap2's seeding
+// primitive). Canonical k-mers (min of forward and reverse-complement
+// encodings) make seeding strand-symmetric.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gx::mapper {
+
+struct Minimizer {
+  std::uint64_t key;   ///< hashed canonical k-mer
+  std::uint32_t pos;   ///< start position of the k-mer
+  bool reverse;        ///< canonical form came from the reverse strand
+};
+
+/// Invertible 64-bit mix (splitmix64 finalizer) used to de-bias k-mer
+/// ranking, as minimap2 does.
+[[nodiscard]] constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Extract the minimizers of `seq` for k-mer size k (<= 31) and window w.
+/// Consecutive duplicate (key, pos) picks are emitted once.
+[[nodiscard]] std::vector<Minimizer> extractMinimizers(std::string_view seq,
+                                                       int k, int w);
+
+}  // namespace gx::mapper

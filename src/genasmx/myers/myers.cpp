@@ -1,0 +1,254 @@
+#include "genasmx/myers/myers.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "genasmx/common/sequence.hpp"
+
+namespace gx::myers {
+namespace {
+
+constexpr int kInf = 1 << 29;
+constexpr std::uint64_t kHighBit = 1ULL << 63;
+
+/// Edlib's calculateBlock (Hyyro's formulation of Myers' recurrence).
+/// Advances one 64-row block by one text column. hin/hout are the
+/// horizontal deltas entering the block top / leaving the block bottom.
+inline int advanceBlock(std::uint64_t& pv, std::uint64_t& mv,
+                        std::uint64_t eq, int hin, std::uint64_t& ph_out,
+                        std::uint64_t& mh_out) noexcept {
+  const std::uint64_t xv = eq | mv;
+  eq |= static_cast<std::uint64_t>(hin < 0);
+  const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+  std::uint64_t ph = mv | ~(xh | pv);
+  std::uint64_t mh = pv & xh;
+  int hout = 0;
+  if (ph & kHighBit) hout = 1;
+  if (mh & kHighBit) hout = -1;
+  ph_out = ph;  // pre-shift deltas: bit r = h-delta at pattern row 64b+r+1
+  mh_out = mh;
+  ph <<= 1;
+  mh <<= 1;
+  mh |= static_cast<std::uint64_t>(hin < 0);
+  ph |= static_cast<std::uint64_t>(hin > 0);
+  pv = mh | ~(xv | ph);
+  mv = ph & xv;
+  return hout;
+}
+
+}  // namespace
+
+void MyersAligner::buildEq(std::string_view query) {
+  m_ = static_cast<int>(query.size());
+  blocks_ = (m_ + 63) / 64;
+  eq_.assign(static_cast<std::size_t>(blocks_) * 4, 0);
+  for (int i = 0; i < m_; ++i) {
+    const int b = i / 64;
+    const int base = common::baseCode(query[i]);
+    eq_[static_cast<std::size_t>(b) * 4 + base] |= 1ULL << (i % 64);
+  }
+}
+
+template <bool Trace>
+int MyersAligner::run(std::string_view target, std::string_view query, int k) {
+  const int n = static_cast<int>(target.size());
+  (void)query;
+  pv_.assign(blocks_, 0);
+  mv_.assign(blocks_, 0);
+  anchors_.assign(blocks_, 0);
+  if constexpr (Trace) {
+    cols_.clear();
+    cols_.reserve(n);
+    tpv_.clear();
+    tmv_.clear();
+    tanchor_.clear();
+  }
+
+  auto bottomRow = [&](int b) { return std::min(64 * (b + 1), m_); };
+
+  int cur_lo = 0;
+  int cur_hi = -1;
+  for (int j = 1; j <= n; ++j) {
+    const int lo_row = j - k;
+    const int hi_row = j + k;
+    const int new_lo = lo_row <= 1 ? 0 : (lo_row - 1) / 64;
+    const int new_hi = hi_row >= m_ ? blocks_ - 1 : (hi_row - 1) / 64;
+    // Grow the band at the bottom: fresh blocks start as all-(+1)
+    // vertical deltas, consistent with treating out-of-band cells
+    // pessimistically.
+    for (int b = cur_hi + 1; b <= new_hi; ++b) {
+      pv_[b] = ~0ULL;
+      mv_[b] = 0;
+      anchors_[b] = b == 0 ? bottomRow(0)
+                           : anchors_[b - 1] + (bottomRow(b) - bottomRow(b - 1));
+    }
+    cur_hi = std::max(cur_hi, new_hi);
+    cur_lo = std::max(cur_lo, new_lo);
+
+    const int code = common::baseCode(target[j - 1]);
+    int hin = 1;  // exact at row 0; pessimistic once the band top dropped
+    const std::uint32_t offset = static_cast<std::uint32_t>(tpv_.size());
+    for (int b = cur_lo; b <= cur_hi; ++b) {
+      std::uint64_t ph, mh;
+      const int hout =
+          advanceBlock(pv_[b], mv_[b],
+                       eq_[static_cast<std::size_t>(b) * 4 + code], hin, ph, mh);
+      const int bbit = (bottomRow(b) - 1) & 63;
+      anchors_[b] +=
+          static_cast<int>((ph >> bbit) & 1) - static_cast<int>((mh >> bbit) & 1);
+      hin = hout;
+      if constexpr (Trace) {
+        tpv_.push_back(pv_[b]);
+        tmv_.push_back(mv_[b]);
+        tanchor_.push_back(anchors_[b]);
+      }
+    }
+    if constexpr (Trace) {
+      cols_.push_back(ColumnTrace{offset, cur_lo, cur_hi});
+    }
+  }
+
+  if (cur_hi != blocks_ - 1) return -1;  // band never reached the last row
+  const int score = anchors_[blocks_ - 1];
+  return score <= k ? score : -1;
+}
+
+int MyersAligner::distance(std::string_view target, std::string_view query) {
+  const int n = static_cast<int>(target.size());
+  const int m = static_cast<int>(query.size());
+  if (m == 0) return n;
+  if (n == 0) return m;
+  buildEq(query);
+
+  const int diff = std::abs(n - m);
+  const int k_ceiling =
+      cfg_.max_k >= 0 ? cfg_.max_k : std::max(n, m);
+  if (k_ceiling < diff) return -1;
+  int k = cfg_.initial_k > 0 ? cfg_.initial_k : std::max(64, diff);
+  k = std::max(k, diff);
+  k = std::min(k, k_ceiling);
+  for (;;) {
+    const int d = run<false>(target, query, k);
+    if (d >= 0) return d;
+    if (k >= k_ceiling) return -1;
+    k = std::min(k * 2, k_ceiling);
+  }
+}
+
+int MyersAligner::cellValue(int i, int j) const {
+  if (j == 0) return i;
+  if (i == 0) return j;
+  const ColumnTrace& ct = cols_[static_cast<std::size_t>(j - 1)];
+  const int b = (i - 1) / 64;
+  if (b < ct.b_lo || b > ct.b_hi) return kInf;
+  const std::size_t idx = ct.offset + static_cast<std::size_t>(b - ct.b_lo);
+  const int bottom = std::min(64 * (b + 1), m_);
+  int v = tanchor_[idx];
+  const std::uint64_t pv = tpv_[idx];
+  const std::uint64_t mv = tmv_[idx];
+  for (int r = bottom; r > i; --r) {
+    const int bit = (r - 1) & 63;
+    v -= static_cast<int>((pv >> bit) & 1) - static_cast<int>((mv >> bit) & 1);
+  }
+  return v;
+}
+
+bool MyersAligner::traceback(std::string_view target, std::string_view query,
+                             common::Cigar& cigar) const {
+  int i = m_;
+  int j = static_cast<int>(target.size());
+  int v = cellValue(i, j);
+  std::vector<common::CigarUnit> rev;
+  auto pushRev = [&rev](common::EditOp op) {
+    if (!rev.empty() && rev.back().op == op) {
+      ++rev.back().len;
+    } else {
+      rev.push_back({op, 1});
+    }
+  };
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0) {
+      const int diag = cellValue(i - 1, j - 1);
+      const bool eqc = target[j - 1] == query[i - 1];
+      if (eqc && diag == v) {
+        pushRev(common::EditOp::Match);
+        --i;
+        --j;
+        v = diag;
+        continue;
+      }
+      if (diag + 1 == v) {
+        pushRev(common::EditOp::Mismatch);
+        --i;
+        --j;
+        v = diag;
+        continue;
+      }
+    }
+    if (i > 0 && cellValue(i - 1, j) + 1 == v) {
+      pushRev(common::EditOp::Insertion);  // consumes query only
+      --i;
+      --v;
+      continue;
+    }
+    if (j > 0 && cellValue(i, j - 1) + 1 == v) {
+      pushRev(common::EditOp::Deletion);  // consumes target only
+      --j;
+      --v;
+      continue;
+    }
+    return false;  // inconsistent trace (must not happen)
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    cigar.push(it->op, it->len);
+  }
+  return true;
+}
+
+common::AlignmentResult MyersAligner::align(std::string_view target,
+                                            std::string_view query) {
+  common::AlignmentResult res;
+  const int n = static_cast<int>(target.size());
+  const int m = static_cast<int>(query.size());
+  if (m == 0 || n == 0) {
+    res.ok = true;
+    res.edit_distance = std::max(n, m);
+    res.score = -res.edit_distance;
+    if (n > 0) {
+      res.cigar.push(common::EditOp::Deletion, static_cast<std::uint32_t>(n));
+    } else if (m > 0) {
+      res.cigar.push(common::EditOp::Insertion, static_cast<std::uint32_t>(m));
+    }
+    return res;
+  }
+  const int d = distance(target, query);
+  if (d < 0) return res;
+  // One more banded pass with k = d records exactly the trace the
+  // traceback needs (all cells on optimal paths are exact within the band).
+  const int traced = run<true>(target, query, std::max(d, 1));
+  if (traced != d) return res;
+  if (!traceback(target, query, res.cigar)) return res;
+  res.ok = true;
+  res.edit_distance = d;
+  res.score = -d;
+  return res;
+}
+
+int myersDistance(std::string_view target, std::string_view query,
+                  const MyersConfig& cfg) {
+  const int n = static_cast<int>(target.size());
+  const int m = static_cast<int>(query.size());
+  if (m == 0) return n;
+  if (n == 0) return m;
+  MyersAligner aligner(cfg);
+  return aligner.distance(target, query);
+}
+
+common::AlignmentResult myersAlign(std::string_view target,
+                                   std::string_view query,
+                                   const MyersConfig& cfg) {
+  MyersAligner aligner(cfg);
+  return aligner.align(target, query);
+}
+
+}  // namespace gx::myers

@@ -1,0 +1,84 @@
+#pragma once
+// Edlib-class aligner: Myers (1999) block bit-parallel edit distance in
+// the Hyyro formulation, with an Ukkonen band over 64-row blocks and
+// Edlib-style band doubling, plus a block-based global traceback.
+//
+// This is the from-scratch reimplementation of the "Edlib" baseline the
+// paper benchmarks against (Sosic & Sikic, Bioinformatics 2017): same
+// inner loop (calculateBlock), same banding strategy, same O(n*d/64)
+// asymptotics for distance and alignment.
+//
+// Orientation: the *query* is the vertical (bit-parallel) dimension, the
+// *target* is processed column by column. Alignment mode is global (NW).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/common/cigar.hpp"
+
+namespace gx::myers {
+
+/// Tuning knobs; defaults mirror Edlib's behaviour.
+struct MyersConfig {
+  /// First band half-width tried; -1 selects max(64, |n-m| rounded up).
+  int initial_k = -1;
+  /// Hard cap on the band; -1 means "up to max(n, m)" (always succeeds).
+  int max_k = -1;
+};
+
+/// Global (NW) edit distance. Returns -1 only if cfg.max_k is set and the
+/// distance exceeds it.
+[[nodiscard]] int myersDistance(std::string_view target,
+                                std::string_view query,
+                                const MyersConfig& cfg = {});
+
+/// Global (NW) alignment with traceback.
+[[nodiscard]] common::AlignmentResult myersAlign(std::string_view target,
+                                                 std::string_view query,
+                                                 const MyersConfig& cfg = {});
+
+/// Reusable-buffer aligner for batch workloads (benchmarks).
+class MyersAligner {
+ public:
+  explicit MyersAligner(MyersConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] int distance(std::string_view target, std::string_view query);
+  [[nodiscard]] common::AlignmentResult align(std::string_view target,
+                                              std::string_view query);
+
+ private:
+  struct ColumnTrace {
+    std::uint32_t offset;  ///< index into pv_/mv_/anchor_ storage
+    std::int32_t b_lo;
+    std::int32_t b_hi;
+  };
+
+  /// One banded run over the whole target. If Trace is true, per-column
+  /// Pv/Mv and per-block bottom-score anchors are recorded for traceback.
+  /// Returns the bottom-right score, or -1 if it exceeds k.
+  template <bool Trace>
+  int run(std::string_view target, std::string_view query, int k);
+
+  /// Exact cell value D(i, j) reconstructed from the recorded trace; cells
+  /// above the recorded band return a large sentinel (kInf).
+  [[nodiscard]] int cellValue(int i, int j) const;
+
+  void buildEq(std::string_view query);
+  bool traceback(std::string_view target, std::string_view query,
+                 common::Cigar& cigar) const;
+
+  MyersConfig cfg_;
+  int m_ = 0;        ///< query length
+  int blocks_ = 0;   ///< ceil(m/64)
+  std::vector<std::uint64_t> eq_;  ///< [block*4 + base] match masks
+  // Live band state for one run.
+  std::vector<std::uint64_t> pv_, mv_;
+  std::vector<int> anchors_;  ///< score at each block's bottom row
+  // Trace storage (align mode).
+  std::vector<ColumnTrace> cols_;
+  std::vector<std::uint64_t> tpv_, tmv_;
+  std::vector<std::int32_t> tanchor_;
+};
+
+}  // namespace gx::myers

@@ -1,0 +1,36 @@
+#include "genasmx/readsim/genome.hpp"
+
+#include <algorithm>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx::readsim {
+
+std::string generateGenome(const GenomeConfig& cfg) {
+  util::Xoshiro256 rng(cfg.seed);
+  std::string genome = common::randomSequence(rng, cfg.length);
+  if (cfg.repeat_fraction <= 0.0 || cfg.repeat_unit == 0 ||
+      cfg.repeat_unit * 2 > cfg.length) {
+    return genome;
+  }
+  const std::size_t copies = static_cast<std::size_t>(
+      cfg.repeat_fraction * static_cast<double>(cfg.length) /
+      static_cast<double>(cfg.repeat_unit));
+  for (std::size_t c = 0; c < copies; ++c) {
+    const std::size_t src = rng.below(cfg.length - cfg.repeat_unit);
+    const std::size_t dst = rng.below(cfg.length - cfg.repeat_unit);
+    for (std::size_t i = 0; i < cfg.repeat_unit; ++i) {
+      char base = genome[src + i];
+      if (rng.chance(cfg.repeat_divergence)) {
+        char next = base;
+        while (next == base) next = common::kBases[rng.below(4)];
+        base = next;
+      }
+      genome[dst + i] = base;
+    }
+  }
+  return genome;
+}
+
+}  // namespace gx::readsim

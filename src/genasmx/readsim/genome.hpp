@@ -1,0 +1,28 @@
+#pragma once
+// Synthetic reference genome generation (substitute for the human genome
+// in the paper's methodology). Runtime behaviour of all aligners depends
+// on sequence length and error structure rather than biological content;
+// a repeat structure is injected so the mapper's seeding/chaining sees
+// realistic multi-mapping candidates (the paper's -P "all chains" setup).
+
+#include <cstdint>
+#include <string>
+
+namespace gx::readsim {
+
+struct GenomeConfig {
+  std::size_t length = 1'000'000;
+  /// Fraction of the genome covered by copied (repeated) segments.
+  double repeat_fraction = 0.05;
+  /// Length of each repeated segment.
+  std::size_t repeat_unit = 2'000;
+  /// Per-copy divergence applied to repeats (substitution rate), so
+  /// repeats are near- but not exact duplicates.
+  double repeat_divergence = 0.02;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a random ACGT genome with the configured repeat structure.
+[[nodiscard]] std::string generateGenome(const GenomeConfig& cfg = {});
+
+}  // namespace gx::readsim

@@ -1,0 +1,88 @@
+#include "genasmx/readsim/read_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx::readsim {
+
+ReadSimConfig ReadSimConfig::pacbioClr(std::size_t count, std::size_t length) {
+  ReadSimConfig cfg;
+  cfg.read_count = count;
+  cfg.read_length = length;
+  cfg.errors = ErrorModel{};  // 10%, 1:6:3
+  return cfg;
+}
+
+ReadSimConfig ReadSimConfig::illumina(std::size_t count, std::size_t length) {
+  ReadSimConfig cfg;
+  cfg.read_count = count;
+  cfg.read_length = length;
+  cfg.errors.error_rate = 0.003;
+  cfg.errors.sub_frac = 0.90;
+  cfg.errors.ins_frac = 0.05;
+  cfg.errors.del_frac = 0.05;
+  cfg.errors.rate_jitter = 0.10;
+  return cfg;
+}
+
+std::vector<SimulatedRead> simulateReads(std::string_view genome,
+                                         const ReadSimConfig& cfg) {
+  if (genome.size() < cfg.read_length * 2) {
+    throw std::invalid_argument(
+        "simulateReads: genome too short for requested read length");
+  }
+  util::Xoshiro256 rng(cfg.seed);
+  const ErrorModel& em = cfg.errors;
+  const double mix_total = em.sub_frac + em.ins_frac + em.del_frac;
+  const double p_sub = em.sub_frac / mix_total;
+  const double p_ins = em.ins_frac / mix_total;
+
+  std::vector<SimulatedRead> reads;
+  reads.reserve(cfg.read_count);
+  for (std::size_t r = 0; r < cfg.read_count; ++r) {
+    SimulatedRead read;
+    read.name = "read_" + std::to_string(r);
+    read.reverse_strand = cfg.both_strands && rng.chance(0.5);
+    const double rate =
+        em.error_rate *
+        (1.0 + em.rate_jitter * (2.0 * rng.uniform01() - 1.0));
+
+    // Sample an origin leaving generous room for deletion-driven overrun.
+    const std::size_t span_budget = cfg.read_length * 2;
+    const std::size_t pos = rng.below(genome.size() - span_budget);
+    read.origin_pos = pos;
+    read.true_edits = 0;
+
+    std::string seq;
+    seq.reserve(cfg.read_length);
+    std::size_t gi = pos;  // genome cursor
+    while (seq.size() < cfg.read_length && gi < genome.size()) {
+      if (rng.uniform01() < rate) {
+        ++read.true_edits;
+        const double kind = rng.uniform01();
+        if (kind < p_sub) {  // substitution
+          const char base = genome[gi++];
+          char next = base;
+          while (next == base) next = common::kBases[rng.below(4)];
+          seq.push_back(next);
+        } else if (kind < p_sub + p_ins) {  // insertion (extra read base)
+          seq.push_back(common::kBases[rng.below(4)]);
+        } else {  // deletion (skip a genome base)
+          ++gi;
+        }
+      } else {
+        seq.push_back(genome[gi++]);
+      }
+    }
+    read.origin_len = gi - pos;
+    read.seq = read.reverse_strand ? common::reverseComplement(seq)
+                                   : std::move(seq);
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+}  // namespace gx::readsim

@@ -1,0 +1,141 @@
+#include "genasmx/refdp/affine_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace gx::refdp {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+struct Cells {
+  int h;  // best score ending in match/mismatch or anything (the H matrix)
+  int e;  // best score with gap in query open (deletion run, target consumed)
+  int f;  // best score with gap in target open (insertion run)
+};
+}  // namespace
+
+int affineScore(std::string_view target, std::string_view query,
+                const AffineParams& p) {
+  const std::size_t n = target.size();
+  const std::size_t m = query.size();
+  std::vector<int> H(m + 1), F(m + 1);
+  H[0] = 0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    H[j] = -(p.gap_open + p.gap_extend * static_cast<int>(j));
+    F[j] = kNegInf;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    int diag = H[0];
+    H[0] = -(p.gap_open + p.gap_extend * static_cast<int>(i));
+    int e = kNegInf;  // E for current row, column j (gap in query)
+    // E needs the previous row's H: track via rolling arrays.
+    // We store E per column in F? No: E extends vertically (target gap runs
+    // along i), F horizontally (query gap runs along j).
+    for (std::size_t j = 1; j <= m; ++j) {
+      // F[j]: vertical gap (deletion in query == target consumed) carried
+      // across rows at column j.
+      F[j] = std::max(F[j] - p.gap_extend, H[j] - p.gap_open - p.gap_extend);
+      // e: horizontal gap within the row.
+      e = std::max(e - p.gap_extend, H[j - 1] - p.gap_open - p.gap_extend);
+      const int match_score =
+          diag + (target[i - 1] == query[j - 1] ? p.match : -p.mismatch);
+      diag = H[j];
+      H[j] = std::max({match_score, e, F[j]});
+    }
+  }
+  return H[m];
+}
+
+common::AlignmentResult alignAffine(std::string_view target,
+                                    std::string_view query,
+                                    const AffineParams& p) {
+  const std::size_t n = target.size();
+  const std::size_t m = query.size();
+  common::AlignmentResult res;
+
+  std::vector<Cells> dp((n + 1) * (m + 1));
+  auto at = [&](std::size_t i, std::size_t j) -> Cells& {
+    return dp[i * (m + 1) + j];
+  };
+  at(0, 0) = {0, kNegInf, kNegInf};
+  for (std::size_t j = 1; j <= m; ++j) {
+    const int g = -(p.gap_open + p.gap_extend * static_cast<int>(j));
+    at(0, j) = {g, kNegInf, g};
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int g = -(p.gap_open + p.gap_extend * static_cast<int>(i));
+    at(i, 0) = {g, g, kNegInf};
+    for (std::size_t j = 1; j <= m; ++j) {
+      Cells c;
+      c.e = std::max(at(i - 1, j).e - p.gap_extend,
+                     at(i - 1, j).h - p.gap_open - p.gap_extend);
+      c.f = std::max(at(i, j - 1).f - p.gap_extend,
+                     at(i, j - 1).h - p.gap_open - p.gap_extend);
+      const int diag =
+          at(i - 1, j - 1).h +
+          (target[i - 1] == query[j - 1] ? p.match : -p.mismatch);
+      c.h = std::max({diag, c.e, c.f});
+      at(i, j) = c;
+    }
+  }
+  res.score = at(n, m).h;
+
+  // Traceback over the three-layer automaton.
+  enum Layer { LH, LE, LF };
+  Layer layer = LH;
+  std::size_t i = n, j = m;
+  std::vector<common::CigarUnit> rev;
+  auto pushRev = [&rev](common::EditOp op) {
+    if (!rev.empty() && rev.back().op == op) {
+      ++rev.back().len;
+    } else {
+      rev.push_back({op, 1});
+    }
+  };
+  while (i > 0 || j > 0) {
+    const Cells& c = at(i, j);
+    if (layer == LH) {
+      if (i > 0 && j > 0) {
+        const bool eq = target[i - 1] == query[j - 1];
+        const int diag = at(i - 1, j - 1).h + (eq ? p.match : -p.mismatch);
+        if (c.h == diag) {
+          pushRev(eq ? common::EditOp::Match : common::EditOp::Mismatch);
+          --i;
+          --j;
+          continue;
+        }
+      }
+      if (i > 0 && c.h == c.e) {
+        layer = LE;
+        continue;
+      }
+      layer = LF;
+      continue;
+    }
+    if (layer == LE) {
+      // Vertical gap: consumes target => deletion in query. Prefer closing
+      // the gap when opening and extending tie (keeps runs canonical
+      // without affecting the score).
+      pushRev(common::EditOp::Deletion);
+      const Cells& up = at(i - 1, j);
+      layer = (c.e == up.h - p.gap_open - p.gap_extend) ? LH : LE;
+      --i;
+      continue;
+    }
+    // layer == LF: horizontal gap => insertion in query.
+    pushRev(common::EditOp::Insertion);
+    const Cells& left = at(i, j - 1);
+    layer = (c.f == left.h - p.gap_open - p.gap_extend) ? LH : LF;
+    --j;
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    res.cigar.push(it->op, it->len);
+  }
+  res.ok = true;
+  res.edit_distance = static_cast<int>(res.cigar.editDistance());
+  return res;
+}
+
+}  // namespace gx::refdp

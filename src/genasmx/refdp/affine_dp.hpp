@@ -1,0 +1,34 @@
+#pragma once
+// Reference Gotoh affine-gap global aligner (oracle for the KSW2-class
+// aligner). Score maximization: match adds +A, mismatch subtracts B,
+// a gap of length l subtracts q + l*e (KSW2 / minimap2 convention).
+
+#include <string_view>
+
+#include "genasmx/common/cigar.hpp"
+
+namespace gx::refdp {
+
+struct AffineParams {
+  int match = 2;       ///< A: added per matching column
+  int mismatch = 4;    ///< B: subtracted per mismatching column
+  int gap_open = 4;    ///< q: subtracted once per gap
+  int gap_extend = 2;  ///< e: subtracted per gap column
+
+  /// Parameters under which -score equals unit edit distance; used by
+  /// property tests to tie the affine aligners to the edit-distance ones.
+  [[nodiscard]] static AffineParams editDistanceEquivalent() noexcept {
+    return AffineParams{0, 1, 0, 1};
+  }
+};
+
+/// Global affine score only, O(n*m) time, O(m) space.
+[[nodiscard]] int affineScore(std::string_view target, std::string_view query,
+                              const AffineParams& p);
+
+/// Global affine alignment with traceback (full matrices).
+[[nodiscard]] common::AlignmentResult alignAffine(std::string_view target,
+                                                  std::string_view query,
+                                                  const AffineParams& p);
+
+}  // namespace gx::refdp

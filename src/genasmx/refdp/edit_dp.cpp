@@ -1,0 +1,112 @@
+#include "genasmx/refdp/edit_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace gx::refdp {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+}  // namespace
+
+int editDistance(std::string_view target, std::string_view query) {
+  const std::size_t n = target.size();
+  const std::size_t m = query.size();
+  // Roll over the query dimension.
+  std::vector<int> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = static_cast<int>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    int diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const int sub = diag + (target[i - 1] == query[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({sub, row[j] + 1, row[j - 1] + 1});
+    }
+  }
+  return row[m];
+}
+
+int editDistanceBanded(std::string_view target, std::string_view query, int k) {
+  const int n = static_cast<int>(target.size());
+  const int m = static_cast<int>(query.size());
+  if (std::abs(n - m) > k) return -1;
+  // row[j] for j within [i-k, i+k] band (query index j, target index i).
+  std::vector<int> prev(m + 1, kInf), cur(m + 1, kInf);
+  for (int j = 0; j <= std::min(m, k); ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    const int jlo = std::max(0, i - k);
+    const int jhi = std::min(m, i + k);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (jlo == 0) cur[0] = i;
+    for (int j = std::max(1, jlo); j <= jhi; ++j) {
+      const int sub =
+          prev[j - 1] + (target[i - 1] == query[j - 1] ? 0 : 1);
+      const int del = prev[j] == kInf ? kInf : prev[j] + 1;
+      const int ins = cur[j - 1] == kInf ? kInf : cur[j - 1] + 1;
+      cur[j] = std::min({sub, del, ins});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m] <= k ? prev[m] : -1;
+}
+
+common::AlignmentResult align(std::string_view target, std::string_view query) {
+  const std::size_t n = target.size();
+  const std::size_t m = query.size();
+  common::AlignmentResult res;
+
+  // Full matrix of distances; fine for oracle-scale inputs.
+  std::vector<int> dp((n + 1) * (m + 1));
+  auto at = [&](std::size_t i, std::size_t j) -> int& {
+    return dp[i * (m + 1) + j];
+  };
+  for (std::size_t j = 0; j <= m; ++j) at(0, j) = static_cast<int>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    at(i, 0) = static_cast<int>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const int sub =
+          at(i - 1, j - 1) + (target[i - 1] == query[j - 1] ? 0 : 1);
+      at(i, j) = std::min({sub, at(i - 1, j) + 1, at(i, j - 1) + 1});
+    }
+  }
+  res.edit_distance = at(n, m);
+
+  // Traceback from (n, m); ops collected back-to-front.
+  std::vector<common::CigarUnit> rev;
+  auto pushRev = [&rev](common::EditOp op) {
+    if (!rev.empty() && rev.back().op == op) {
+      ++rev.back().len;
+    } else {
+      rev.push_back({op, 1});
+    }
+  };
+  std::size_t i = n, j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0) {
+      const bool eq = target[i - 1] == query[j - 1];
+      if (at(i, j) == at(i - 1, j - 1) + (eq ? 0 : 1)) {
+        pushRev(eq ? common::EditOp::Match : common::EditOp::Mismatch);
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 && at(i, j) == at(i - 1, j) + 1) {
+      pushRev(common::EditOp::Deletion);
+      --i;
+      continue;
+    }
+    pushRev(common::EditOp::Insertion);
+    --j;
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    res.cigar.push(it->op, it->len);
+  }
+  res.ok = true;
+  res.score = -res.edit_distance;
+  return res;
+}
+
+}  // namespace gx::refdp

@@ -1,0 +1,26 @@
+#pragma once
+// Reference (oracle) edit-distance implementations: textbook O(n*m)
+// Needleman-Wunsch with unit costs, with and without traceback.
+// Every bit-parallel aligner in this repository is property-tested
+// against these.
+
+#include <string_view>
+
+#include "genasmx/common/cigar.hpp"
+
+namespace gx::refdp {
+
+/// Unit-cost global edit distance, O(n*m) time, O(min(n,m)) space.
+[[nodiscard]] int editDistance(std::string_view target, std::string_view query);
+
+/// Unit-cost global edit distance restricted to |i-j| bands of half-width
+/// k (Ukkonen). Returns -1 if the distance exceeds k.
+[[nodiscard]] int editDistanceBanded(std::string_view target,
+                                     std::string_view query, int k);
+
+/// Global alignment with traceback. Deterministic tie-breaking:
+/// match/mismatch preferred over deletion over insertion.
+[[nodiscard]] common::AlignmentResult align(std::string_view target,
+                                            std::string_view query);
+
+}  // namespace gx::refdp

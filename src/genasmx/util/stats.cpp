@@ -1,0 +1,91 @@
+#include "genasmx/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace gx::util {
+
+Summary::Summary(std::size_t max_samples) : cap_(max_samples) {
+  samples_.reserve(std::min<std::size_t>(max_samples, 4096));
+}
+
+void Summary::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+
+  if (samples_.size() < cap_) {
+    samples_.push_back(x);
+    sorted_ = false;
+  } else {
+    // xorshift64* for reservoir index selection.
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    const std::uint64_t r = rng_state_ * 0x2545f4914f6cdd1dULL;
+    const std::size_t idx = static_cast<std::size_t>(r % n_);
+    if (idx < cap_) {
+      samples_[idx] = x;
+      sorted_ = false;
+    }
+  }
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (double s : other.samples_) {
+    if (samples_.size() < cap_) samples_.push_back(s);
+  }
+  sorted_ = false;
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos =
+      (q / 100.0) * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Summary::str() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " p50=" << percentile(50) << " p95="
+     << percentile(95) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace gx::util

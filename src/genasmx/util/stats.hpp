@@ -1,0 +1,47 @@
+#pragma once
+// Streaming summary statistics used by benchmarks (throughput tables,
+// latency percentiles) and by readsim's self-tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gx::util {
+
+/// Online mean / variance (Welford) plus exact percentiles over retained
+/// samples. Retention is bounded; beyond the cap, reservoir sampling keeps
+/// percentile estimates unbiased.
+class Summary {
+ public:
+  explicit Summary(std::size_t max_samples = 1 << 20);
+
+  void add(double x);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Exact percentile over retained samples, q in [0,100].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// One-line human readable rendering ("n=.. mean=.. p50=.. p95=..").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t cap_;
+  mutable std::vector<double> samples_;  // sorted lazily by percentile()
+  mutable bool sorted_ = true;
+  std::uint64_t rng_state_ = 0x2545f4914f6cdd1dULL;  // for reservoir sampling
+};
+
+}  // namespace gx::util

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal fixed-size thread pool with a blocking task queue plus a
+// chunked parallel_for used to parallelize alignment batches.
+//
+// Alignment pairs are embarrassingly parallel (the paper runs 48 CPU
+// threads); the pool keeps per-task overhead low by handing out index
+// ranges rather than single indices.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gx::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue an arbitrary task. Fire and forget; use wait_idle() to join.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(begin, end) over [0, n) split into `size()*4` chunks, blocking
+  /// until completion. fn must be safe to call concurrently.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gx::util

@@ -1,0 +1,33 @@
+#pragma once
+// Monotonic wall-clock timing for benchmarks and examples.
+
+#include <chrono>
+#include <cstdint>
+
+namespace gx::util {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gx::util

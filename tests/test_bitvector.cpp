@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "genasmx/bitvector/bitvector.hpp"
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx::bitvector {
+namespace {
+
+template <int NW>
+void checkOnesAbove() {
+  for (int n : {0, 1, 63, 64, 65, NW * 64 - 1, NW * 64}) {
+    if (n > BitVec<NW>::kBits) continue;
+    const auto v = BitVec<NW>::onesAbove(n);
+    for (int j = 0; j < BitVec<NW>::kBits; ++j) {
+      EXPECT_EQ(v.bit(j), j >= n) << "NW=" << NW << " n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(BitVec, OnesAboveAllWidths) {
+  checkOnesAbove<1>();
+  checkOnesAbove<2>();
+  checkOnesAbove<4>();
+}
+
+TEST(BitVec, ZerosAndAllOnes) {
+  const auto z = BitVec<2>::zeros();
+  const auto o = BitVec<2>::allOnes();
+  for (int j = 0; j < 128; ++j) {
+    EXPECT_FALSE(z.bit(j));
+    EXPECT_TRUE(o.bit(j));
+  }
+  EXPECT_EQ(~z, o);
+}
+
+TEST(BitVec, SetClearBit) {
+  BitVec<2> v;
+  v.setBit(0);
+  v.setBit(63);
+  v.setBit(64);
+  v.setBit(127);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_TRUE(v.bit(127));
+  EXPECT_FALSE(v.bit(1));
+  v.clearBit(64);
+  EXPECT_FALSE(v.bit(64));
+}
+
+template <int NW>
+void checkShiftAgainstNaive(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec<NW> v;
+    for (auto& w : v.w) w = rng();
+    for (bool insert_one : {false, true}) {
+      const auto s = v.shl1(insert_one);
+      EXPECT_EQ(s.bit(0), insert_one);
+      for (int j = 1; j < BitVec<NW>::kBits; ++j) {
+        EXPECT_EQ(s.bit(j), v.bit(j - 1)) << "NW=" << NW << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(BitVec, ShiftLeftCarriesAcrossWords) {
+  checkShiftAgainstNaive<1>(11);
+  checkShiftAgainstNaive<2>(12);
+  checkShiftAgainstNaive<3>(13);
+  checkShiftAgainstNaive<4>(14);
+}
+
+TEST(BitVec, BitwiseOperators) {
+  util::Xoshiro256 rng(5);
+  BitVec<3> a, b;
+  for (auto& w : a.w) w = rng();
+  for (auto& w : b.w) w = rng();
+  const auto both_and = a & b;
+  const auto both_or = a | b;
+  for (int j = 0; j < 192; ++j) {
+    EXPECT_EQ(both_and.bit(j), a.bit(j) && b.bit(j));
+    EXPECT_EQ(both_or.bit(j), a.bit(j) || b.bit(j));
+  }
+}
+
+TEST(BitVec, EqualityIsStructural) {
+  BitVec<2> a, b;
+  EXPECT_EQ(a, b);
+  a.setBit(100);
+  EXPECT_NE(a, b);
+  b.setBit(100);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PatternMasks, ActiveLowMatchBits) {
+  const std::string pattern = "ACGTAC";
+  PatternMasks<1> masks(pattern);
+  for (char c : {'A', 'C', 'G', 'T'}) {
+    const auto& pm = masks.forChar(c);
+    for (std::size_t j = 0; j < pattern.size(); ++j) {
+      // Active low: 0 where pattern[j] == c.
+      EXPECT_EQ(pm.bit(static_cast<int>(j)), pattern[j] != c)
+          << "c=" << c << " j=" << j;
+    }
+    // Bits beyond the pattern stay 1.
+    for (int j = static_cast<int>(pattern.size()); j < 64; ++j) {
+      EXPECT_TRUE(pm.bit(j));
+    }
+  }
+}
+
+TEST(PatternMasks, MultiWordPattern) {
+  util::Xoshiro256 rng(6);
+  const auto pattern = common::randomSequence(rng, 150);
+  PatternMasks<3> masks(pattern);
+  for (std::size_t j = 0; j < pattern.size(); ++j) {
+    const auto& pm = masks.forChar(pattern[j]);
+    EXPECT_FALSE(pm.bit(static_cast<int>(j)));
+  }
+}
+
+TEST(PatternMasks, EmptyPatternAllOnes) {
+  PatternMasks<1> masks{std::string_view("")};
+  for (char c : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(masks.forChar(c), BitVec<1>::allOnes());
+  }
+}
+
+TEST(WordsNeeded, Boundaries) {
+  EXPECT_EQ(wordsNeeded(0), 1);
+  EXPECT_EQ(wordsNeeded(1), 1);
+  EXPECT_EQ(wordsNeeded(64), 1);
+  EXPECT_EQ(wordsNeeded(65), 2);
+  EXPECT_EQ(wordsNeeded(128), 2);
+  EXPECT_EQ(wordsNeeded(129), 3);
+  EXPECT_EQ(wordsNeeded(512), 8);
+}
+
+}  // namespace
+}  // namespace gx::bitvector

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/common/verify.hpp"
+#include "genasmx/genasm/genasm_baseline.hpp"
+#include "genasmx/refdp/edit_dp.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx::genasm {
+namespace {
+
+// --------------------------------------------------------- global alignment
+
+TEST(BaselineGlobal, KnownCases) {
+  struct Case {
+    const char* t;
+    const char* q;
+    int dist;
+  };
+  for (const Case& c : {Case{"ACGT", "ACGT", 0}, Case{"ACGT", "AGGT", 1},
+                        Case{"ACGT", "AGT", 1}, Case{"AGT", "ACGT", 1},
+                        Case{"AAAA", "TTTT", 4}, Case{"GCTAGCT", "CTAGCTA", 2},
+                        Case{"A", "A", 0}, Case{"A", "T", 1},
+                        Case{"AG", "G", 1}}) {
+    const auto res = alignGlobalBaseline(c.t, c.q);
+    ASSERT_TRUE(res.ok) << c.t << " vs " << c.q;
+    EXPECT_EQ(res.edit_distance, c.dist) << c.t << " vs " << c.q;
+    const auto v = common::verifyAlignment(c.t, c.q, res.cigar);
+    EXPECT_TRUE(v.valid) << v.error;
+    EXPECT_EQ(static_cast<int>(v.cost), c.dist);
+  }
+}
+
+TEST(BaselineGlobal, EmptyInputs) {
+  auto r1 = alignGlobalBaseline("", "");
+  EXPECT_TRUE(r1.ok);
+  EXPECT_EQ(r1.edit_distance, 0);
+  auto r2 = alignGlobalBaseline("ACGT", "");
+  EXPECT_TRUE(r2.ok);
+  EXPECT_EQ(r2.cigar.str(), "4D");
+  auto r3 = alignGlobalBaseline("", "ACGT");
+  EXPECT_TRUE(r3.ok);
+  EXPECT_EQ(r3.cigar.str(), "4I");
+}
+
+TEST(BaselineGlobal, RespectsMaxEditsCap) {
+  // Distance is 4; a cap of 3 must fail, a cap of 4 succeed.
+  EXPECT_FALSE(alignGlobalBaseline("AAAA", "TTTT", 3).ok);
+  const auto res = alignGlobalBaseline("AAAA", "TTTT", 4);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.edit_distance, 4);
+}
+
+// Property sweep: baseline == oracle over lengths x mutation loads.
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BaselineSweep, MatchesOracleAndVerifies) {
+  const auto [seed, len, edits] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto t = common::randomSequence(rng, static_cast<std::size_t>(len));
+    const auto q =
+        common::mutateSequence(rng, t, static_cast<std::size_t>(edits));
+    const int oracle = refdp::editDistance(t, q);
+    const auto res = alignGlobalBaseline(t, q);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.edit_distance, oracle) << "t=" << t << " q=" << q;
+    const auto v = common::verifyAlignment(t, q, res.cigar);
+    ASSERT_TRUE(v.valid) << v.error;
+    EXPECT_EQ(static_cast<int>(v.cost), oracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsByEdits, BaselineSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 8, 33, 64, 100, 200),
+                       ::testing::Values(0, 1, 4, 12)),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param)) + "_e" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Random unrelated pairs (high distance regime).
+class BaselineUnrelatedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineUnrelatedSweep, MatchesOracle) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto t = common::randomSequence(rng, 20 + rng.below(60));
+    const auto q = common::randomSequence(rng, 20 + rng.below(60));
+    const int oracle = refdp::editDistance(t, q);
+    const auto res = alignGlobalBaseline(t, q);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.edit_distance, oracle);
+    EXPECT_TRUE(common::verifyAlignment(t, q, res.cigar).valid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineUnrelatedSweep,
+                         ::testing::Range(100, 110));
+
+// Multi-word patterns (m > 64).
+class BaselineMultiWordSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineMultiWordSweep, MatchesOracle) {
+  const int len = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(len) * 31 + 7);
+  const auto t = common::randomSequence(rng, static_cast<std::size_t>(len));
+  const auto q = common::mutateSequence(rng, t, 10);
+  const int oracle = refdp::editDistance(t, q);
+  const auto res = alignGlobalBaseline(t, q);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.edit_distance, oracle);
+  EXPECT_TRUE(common::verifyAlignment(t, q, res.cigar).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BaselineMultiWordSweep,
+                         ::testing::Values(63, 64, 65, 127, 128, 129, 200,
+                                           256, 300, 480));
+
+// ------------------------------------------------------- solver-level tests
+
+TEST(BaselineSolver, StartOnlyLeavesTextEndFree) {
+  // Pattern equals a prefix of the text: with a free original-text end the
+  // window distance must be 0 even though the text is longer.
+  BaselineWindowSolver<1> solver;
+  const std::string text = "ACGTACGTAAAA";
+  const std::string pattern = "ACGTACGT";
+  WindowSpec spec;
+  spec.anchor = Anchor::StartOnly;
+  const auto wr = solver.solve(common::reversed(text),
+                               common::reversed(pattern), spec);
+  ASSERT_TRUE(wr.ok);
+  EXPECT_EQ(wr.distance, 0);
+  EXPECT_EQ(wr.cigar.str(), "8=");
+  EXPECT_TRUE(wr.traceback_complete);
+}
+
+TEST(BaselineSolver, StartOnlyDistanceNeverAboveGlobal) {
+  util::Xoshiro256 rng(55);
+  BaselineWindowSolver<1> solver;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto text = common::randomSequence(rng, 40 + rng.below(25));
+    const auto pattern =
+        common::mutateSequence(rng, text.substr(0, 30), rng.below(6));
+    if (pattern.empty() || pattern.size() > 64) continue;
+    WindowSpec spec;
+    spec.anchor = Anchor::StartOnly;
+    const auto wr = solver.solve(common::reversed(text),
+                                 common::reversed(pattern), spec);
+    ASSERT_TRUE(wr.ok);
+    EXPECT_LE(wr.distance, refdp::editDistance(text, pattern));
+    // The committed ops must align the pattern against a text *prefix*.
+    const auto consumed = wr.cigar.targetLength();
+    const auto v = common::verifyAlignment(
+        std::string_view(text).substr(0, consumed), pattern, wr.cigar);
+    ASSERT_TRUE(v.valid) << v.error;
+    EXPECT_EQ(v.cost, static_cast<std::uint64_t>(wr.distance));
+  }
+}
+
+TEST(BaselineSolver, TracebackOpLimitTruncates) {
+  BaselineWindowSolver<1> solver;
+  const std::string text = "ACGTACGTACGT";
+  WindowSpec spec;
+  spec.anchor = Anchor::StartOnly;
+  spec.tb_op_limit = 5;
+  const auto wr = solver.solve(common::reversed(text),
+                               common::reversed(text), spec);
+  ASSERT_TRUE(wr.ok);
+  EXPECT_EQ(wr.distance, 0);
+  EXPECT_EQ(wr.cigar.opCount(), 5u);
+  EXPECT_FALSE(wr.traceback_complete);
+  EXPECT_EQ(wr.cigar.str(), "5=");
+}
+
+TEST(BaselineSolver, CountsMemoryTraffic) {
+  util::MemStats stats;
+  const auto res = alignGlobalBaseline("ACGTACGTACGTACGT",
+                                       "ACGTACGTACGTACGT", -1, &stats);
+  ASSERT_TRUE(res.ok);
+  EXPECT_GT(stats.dp_stores, 0u);
+  EXPECT_GT(stats.dp_loads, 0u);
+  EXPECT_GT(stats.bytes_peak, 0u);
+  EXPECT_EQ(stats.problems, 1u);
+  // Baseline stores 4 edge vectors + 1 working entry per (column, level):
+  // 16 columns x 17 levels x 5 stores + 17 column-0 inits.
+  EXPECT_GE(stats.dp_stores, 16u * 17u * 5u);
+}
+
+TEST(BaselineSolver, RejectsOversizedPattern) {
+  BaselineWindowSolver<1> solver;
+  const std::string pattern(65, 'A');
+  const std::string text(65, 'A');
+  WindowSpec spec;
+  const auto wr = solver.solve(text, pattern, spec);
+  EXPECT_FALSE(wr.ok);
+}
+
+}  // namespace
+}  // namespace gx::genasm

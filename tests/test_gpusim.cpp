@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "genasmx/gpusim/device.hpp"
+#include "genasmx/gpusim/perf_model.hpp"
+
+namespace gx::gpusim {
+namespace {
+
+TEST(DeviceSpecTest, A6000Defaults) {
+  const auto spec = DeviceSpec::a6000();
+  EXPECT_EQ(spec.num_sms, 84);
+  EXPECT_EQ(spec.shared_mem_per_block, 100u * 1024u);
+  EXPECT_GT(spec.dram_bandwidth_gbps, 700.0);
+}
+
+TEST(BlockContextTest, SharedCapacityEnforced) {
+  BlockContext ctx(0, 64, 1'000);
+  EXPECT_TRUE(ctx.sharedAlloc(600));
+  EXPECT_FALSE(ctx.sharedAlloc(600));  // 1200 > 1000
+  EXPECT_EQ(ctx.failedSharedAllocs(), 1u);
+  EXPECT_TRUE(ctx.sharedAlloc(400));
+  EXPECT_EQ(ctx.sharedHighWater(), 1'000u);
+  ctx.sharedFree(1'000);
+  EXPECT_TRUE(ctx.sharedAlloc(1'000));
+  EXPECT_EQ(ctx.sharedHighWater(), 1'000u);
+}
+
+TEST(DeviceTest, LaunchRunsEveryBlockAndAggregates) {
+  Device dev;
+  std::vector<int> seen;
+  const auto stats = dev.launch(10, 32, [&](BlockContext& ctx) {
+    seen.push_back(ctx.blockId());
+    ctx.work(100.0, 50.0);
+    ctx.globalLoad(1'000);
+    ctx.sharedStore(500);
+    ASSERT_TRUE(ctx.sharedAlloc(2'048));
+  });
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(stats.grid, 10);
+  EXPECT_EQ(stats.block_threads, 32);
+  EXPECT_DOUBLE_EQ(stats.total_ops, 1'000.0);
+  EXPECT_DOUBLE_EQ(stats.critical_cycles_total, 500.0);
+  EXPECT_EQ(stats.global_bytes, 10'000u);
+  EXPECT_EQ(stats.shared_bytes, 5'000u);
+  EXPECT_EQ(stats.shared_per_block, 2'048u);
+  EXPECT_EQ(stats.failed_shared_allocs, 0u);
+}
+
+TEST(DeviceTest, LaunchValidatesArguments) {
+  Device dev;
+  EXPECT_THROW(dev.launch(-1, 32, [](BlockContext&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(dev.launch(1, 0, [](BlockContext&) {}), std::invalid_argument);
+  EXPECT_THROW(dev.launch(1, 2'000, [](BlockContext&) {}),
+               std::invalid_argument);
+}
+
+TEST(PerfModel, OccupancyLimiters) {
+  DeviceSpec spec;
+  // Thread-limited: 1536 / 256 = 6 blocks.
+  EXPECT_EQ(blocksPerSm(spec, 256, 0), 6);
+  // Block-count limited.
+  EXPECT_EQ(blocksPerSm(spec, 32, 0), 16);
+  // Shared-memory limited: 128K / 40K = 3 blocks.
+  EXPECT_EQ(blocksPerSm(spec, 32, 40 * 1024), 3);
+  // Never below 1.
+  EXPECT_EQ(blocksPerSm(spec, 1'024, 120 * 1024), 1);
+}
+
+TEST(PerfModel, DramBoundKernel) {
+  DeviceSpec spec;
+  LaunchStats stats;
+  stats.grid = 1'000;
+  stats.block_threads = 64;
+  stats.total_ops = 1e6;          // tiny compute
+  stats.global_bytes = 768ull << 30;  // exactly 1 second of DRAM traffic
+  const auto t = modelTime(spec, stats);
+  EXPECT_NEAR(t.dram_s, 1.073, 0.08);  // 768 GiB over 768 GB/s
+  EXPECT_EQ(t.total_s, t.dram_s);
+  EXPECT_GT(t.dram_s, t.compute_s);
+}
+
+TEST(PerfModel, ComputeBoundKernel) {
+  DeviceSpec spec;
+  LaunchStats stats;
+  stats.grid = 1'000;
+  stats.block_threads = 64;
+  // One second of compute at the modeled issue rate.
+  stats.total_ops = spec.num_sms * spec.issue_ops_per_cycle_per_sm *
+                    spec.core_clock_ghz * 1e9;
+  stats.global_bytes = 1'000;
+  const auto t = modelTime(spec, stats);
+  EXPECT_NEAR(t.compute_s, 1.0, 1e-9);
+  EXPECT_EQ(t.total_s, t.compute_s);
+}
+
+TEST(PerfModel, LatencyBoundKernel) {
+  DeviceSpec spec;
+  LaunchStats stats;
+  stats.grid = 84 * 16;  // exactly one wave
+  stats.block_threads = 64;
+  stats.shared_per_block = 0;
+  // Each block: 1.41e6 cycles of pure dependency chain = 1 ms.
+  stats.critical_cycles_total = 1.41e6 * stats.grid;
+  const auto t = modelTime(spec, stats);
+  // 1344 blocks, concurrency 1344 => one block-chain per slot: 1 ms.
+  EXPECT_NEAR(t.latency_s, 1e-3, 1e-6);
+  EXPECT_EQ(t.total_s, t.latency_s);
+}
+
+TEST(PerfModel, SharedSpillRaisesModeledTime) {
+  // The capacity cliff: identical work, but one kernel's DP traffic goes
+  // to DRAM instead of shared memory => strictly slower.
+  DeviceSpec spec;
+  LaunchStats fits;
+  fits.grid = 10'000;
+  fits.block_threads = 64;
+  fits.shared_per_block = 8 * 1024;
+  fits.shared_bytes = 400ull << 30;
+  fits.total_ops = 1e9;
+  LaunchStats spills = fits;
+  spills.shared_per_block = 0;
+  spills.shared_bytes = 0;
+  spills.global_bytes = 400ull << 30;
+  const auto t_fits = modelTime(spec, fits);
+  const auto t_spills = modelTime(spec, spills);
+  EXPECT_GT(t_spills.total_s, 5.0 * t_fits.total_s);
+}
+
+}  // namespace
+}  // namespace gx::gpusim

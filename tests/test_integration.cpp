@@ -1,0 +1,132 @@
+// End-to-end integration: the paper's full methodology at reduced scale.
+// Genome -> PBSIM2-class reads -> minimap2-class candidates -> alignment
+// with every aligner -> verified CIGARs and consistent costs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "genasmx/common/verify.hpp"
+#include "genasmx/core/windowed.hpp"
+#include "genasmx/gpukernels/genasm_kernels.hpp"
+#include "genasmx/ksw/ksw_affine.hpp"
+#include "genasmx/mapper/mapper.hpp"
+#include "genasmx/myers/myers.hpp"
+#include "genasmx/readsim/genome.hpp"
+#include "genasmx/readsim/read_simulator.hpp"
+#include "genasmx/util/thread_pool.hpp"
+
+namespace gx {
+namespace {
+
+struct Pipeline {
+  std::string genome;
+  mapper::Mapper mapper_;
+  std::vector<readsim::SimulatedRead> reads;
+  std::vector<mapper::AlignmentPair> pairs;
+
+  Pipeline() : genome(makeGenome()), mapper_(std::string(genome)) {
+    auto rcfg = readsim::ReadSimConfig::pacbioClr(8, 2'000);
+    rcfg.seed = 31;
+    reads = readsim::simulateReads(genome, rcfg);
+    for (const auto& r : reads) {
+      auto rp = mapper::buildAlignmentPairs(mapper_, r.seq, 4);
+      for (auto& p : rp) pairs.push_back(std::move(p));
+    }
+  }
+
+  static std::string makeGenome() {
+    readsim::GenomeConfig cfg;
+    cfg.length = 250'000;
+    cfg.seed = 29;
+    return readsim::generateGenome(cfg);
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+TEST(Integration, PipelineProducesCandidatePairs) {
+  auto& p = pipeline();
+  EXPECT_EQ(p.reads.size(), 8u);
+  EXPECT_GE(p.pairs.size(), p.reads.size());  // at least one pair per read
+}
+
+TEST(Integration, AllAlignersProduceValidAlignments) {
+  auto& p = pipeline();
+  myers::MyersAligner edlib_class;
+  ksw::KswConfig kcfg;
+  kcfg.band = 400;
+  ksw::KswAligner ksw_class(kcfg);
+  for (const auto& pair : p.pairs) {
+    const auto improved =
+        core::alignWindowedImproved(pair.target, pair.query);
+    const auto baseline =
+        core::alignWindowedBaseline(pair.target, pair.query);
+    const auto myr = edlib_class.align(pair.target, pair.query);
+    const auto kw = ksw_class.align(pair.target, pair.query);
+    ASSERT_TRUE(improved.ok);
+    ASSERT_TRUE(baseline.ok);
+    ASSERT_TRUE(myr.ok);
+    ASSERT_TRUE(kw.ok);
+    for (const auto* res : {&improved, &baseline, &myr, &kw}) {
+      const auto v =
+          common::verifyAlignment(pair.target, pair.query, res->cigar);
+      ASSERT_TRUE(v.valid) << v.error;
+    }
+    // GenASM variants agree with each other; Myers is optimal, so GenASM's
+    // windowed cost can only be >= Myers' cost.
+    EXPECT_EQ(improved.edit_distance, baseline.edit_distance);
+    EXPECT_GE(improved.edit_distance, myr.edit_distance);
+  }
+}
+
+TEST(Integration, BestCandidateCostMatchesInjectedErrors) {
+  auto& p = pipeline();
+  for (const auto& r : p.reads) {
+    const auto rp = mapper::buildAlignmentPairs(p.mapper_, r.seq, 1);
+    if (rp.empty()) continue;
+    const auto res = core::alignWindowedImproved(rp[0].target, rp[0].query);
+    ASSERT_TRUE(res.ok);
+    // Cost is near the injected error count (margins add deletions).
+    EXPECT_LT(res.edit_distance,
+              static_cast<int>(r.true_edits) + 2 * 64 + 64);
+  }
+}
+
+TEST(Integration, GpuPipelineMatchesCpu) {
+  auto& p = pipeline();
+  gpusim::Device dev;
+  const auto gpu = gpukernels::alignBatchImproved(dev, p.pairs);
+  for (std::size_t i = 0; i < p.pairs.size(); ++i) {
+    const auto cpu =
+        core::alignWindowedImproved(p.pairs[i].target, p.pairs[i].query);
+    ASSERT_TRUE(gpu.results[i].ok);
+    EXPECT_EQ(gpu.results[i].cigar, cpu.cigar);
+  }
+  EXPECT_EQ(gpu.spilled_blocks, 0u);
+}
+
+TEST(Integration, ThreadPoolBatchMatchesSerial) {
+  auto& p = pipeline();
+  std::vector<int> serial(p.pairs.size()), parallel(p.pairs.size());
+  for (std::size_t i = 0; i < p.pairs.size(); ++i) {
+    serial[i] =
+        core::alignWindowedImproved(p.pairs[i].target, p.pairs[i].query)
+            .edit_distance;
+  }
+  util::ThreadPool pool(4);
+  pool.parallel_for(p.pairs.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      parallel[i] =
+          core::alignWindowedImproved(p.pairs[i].target, p.pairs[i].query)
+              .edit_distance;
+    }
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace gx

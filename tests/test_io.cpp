@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genasmx/io/fastx.hpp"
+#include "genasmx/io/paf.hpp"
+
+namespace gx::io {
+namespace {
+
+TEST(Fastx, ParsesFasta) {
+  std::istringstream in(">r1 a comment\nACGT\nACGT\n>r2\nTTTT\n");
+  const auto recs = readFastx(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name, "r1");
+  EXPECT_EQ(recs[0].comment, "a comment");
+  EXPECT_EQ(recs[0].seq, "ACGTACGT");
+  EXPECT_TRUE(recs[0].qual.empty());
+  EXPECT_EQ(recs[1].name, "r2");
+  EXPECT_EQ(recs[1].seq, "TTTT");
+}
+
+TEST(Fastx, ParsesFastq) {
+  std::istringstream in("@q1\nACGT\n+\nIIII\n@q2 c\nTT\n+\n##\n");
+  const auto recs = readFastx(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name, "q1");
+  EXPECT_EQ(recs[0].seq, "ACGT");
+  EXPECT_EQ(recs[0].qual, "IIII");
+  EXPECT_EQ(recs[1].comment, "c");
+}
+
+TEST(Fastx, RoundTripFasta) {
+  std::vector<FastxRecord> recs;
+  recs.push_back({"a", "", std::string(200, 'A'), ""});
+  recs.push_back({"b", "note", "ACGT", ""});
+  std::ostringstream out;
+  writeFastx(out, recs);
+  std::istringstream in(out.str());
+  const auto back = readFastx(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].seq, recs[0].seq);
+  EXPECT_EQ(back[1].name, "b");
+  EXPECT_EQ(back[1].comment, "note");
+}
+
+TEST(Fastx, RoundTripFastq) {
+  std::vector<FastxRecord> recs;
+  recs.push_back({"q", "", "ACGTACGT", "IIIIIIII"});
+  std::ostringstream out;
+  writeFastx(out, recs);
+  std::istringstream in(out.str());
+  const auto back = readFastx(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].seq, recs[0].seq);
+  EXPECT_EQ(back[0].qual, recs[0].qual);
+}
+
+TEST(Fastx, RejectsMalformed) {
+  std::istringstream bad1("ACGT\n");
+  EXPECT_THROW(readFastx(bad1), std::runtime_error);
+  std::istringstream bad2("@q\nACGT\nIIII\n");  // missing '+'
+  EXPECT_THROW(readFastx(bad2), std::runtime_error);
+  std::istringstream bad3("@q\nACGT\n+\nII\n");  // length mismatch
+  EXPECT_THROW(readFastx(bad3), std::runtime_error);
+}
+
+TEST(Fastx, MissingFileThrows) {
+  EXPECT_THROW(readFastxFile("/nonexistent/path.fa"), std::runtime_error);
+}
+
+TEST(Fastx, EmptyStream) {
+  std::istringstream in("");
+  EXPECT_TRUE(readFastx(in).empty());
+}
+
+TEST(Paf, SerializesAllFields) {
+  PafRecord rec;
+  rec.query_name = "read_1";
+  rec.query_len = 100;
+  rec.query_begin = 0;
+  rec.query_end = 100;
+  rec.reverse = true;
+  rec.target_name = "chr";
+  rec.target_len = 1'000'000;
+  rec.target_begin = 500;
+  rec.target_end = 602;
+  rec.cigar = common::Cigar::parse("98=2X2D");
+  finalizeFromCigar(rec);
+  EXPECT_EQ(rec.matches, 98u);
+  EXPECT_EQ(rec.alignment_len, 102u);
+  const auto line = toPafLine(rec);
+  EXPECT_EQ(line,
+            "read_1\t100\t0\t100\t-\tchr\t1000000\t500\t602\t98\t102\t255"
+            "\tcg:Z:98=2X2D");
+}
+
+TEST(Paf, OmitsCigarWhenEmpty) {
+  PafRecord rec;
+  rec.query_name = "r";
+  rec.target_name = "t";
+  const auto line = toPafLine(rec);
+  EXPECT_EQ(line.find("cg:Z:"), std::string::npos);
+}
+
+TEST(Paf, WriteAppendsNewline) {
+  PafRecord rec;
+  rec.query_name = "r";
+  rec.target_name = "t";
+  std::ostringstream out;
+  writePaf(out, rec);
+  EXPECT_EQ(out.str().back(), '\n');
+}
+
+}  // namespace
+}  // namespace gx::io

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/common/verify.hpp"
+#include "genasmx/ksw/ksw_affine.hpp"
+#include "genasmx/refdp/affine_dp.hpp"
+#include "genasmx/refdp/edit_dp.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx::ksw {
+namespace {
+
+int cigarAffineScore(const common::Cigar& cigar,
+                     const refdp::AffineParams& p) {
+  int score = 0;
+  for (const auto& u : cigar.units()) {
+    switch (u.op) {
+      case common::EditOp::Match:
+        score += p.match * static_cast<int>(u.len);
+        break;
+      case common::EditOp::Mismatch:
+        score -= p.mismatch * static_cast<int>(u.len);
+        break;
+      case common::EditOp::Insertion:
+      case common::EditOp::Deletion:
+        score -= p.gap_open + p.gap_extend * static_cast<int>(u.len);
+        break;
+    }
+  }
+  return score;
+}
+
+TEST(KswScore, KnownCases) {
+  EXPECT_EQ(kswScore("ACGTACGT", "ACGTACGT"), 16);
+  EXPECT_EQ(kswScore("ACGTACGT", "ACGAACGT"), 10);
+  EXPECT_EQ(kswScore("", ""), 0);
+  EXPECT_EQ(kswScore("ACG", ""), -(4 + 3 * 2));
+  EXPECT_EQ(kswScore("", "ACG"), -(4 + 3 * 2));
+}
+
+class KswFullSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // seed, len
+
+TEST_P(KswFullSweep, UnbandedMatchesGotohOracle) {
+  const auto [seed, len] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 2713 + 5);
+  const refdp::AffineParams p;
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto t = common::randomSequence(rng, static_cast<std::size_t>(len));
+    const auto q = common::mutateSequence(rng, t, rng.below(12));
+    EXPECT_EQ(kswScore(t, q), refdp::affineScore(t, q, p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KswFullSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 10, 40, 100,
+                                                              250)),
+                         [](const auto& info) {
+                           return "s" + std::to_string(std::get<0>(info.param)) +
+                                  "_len" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(KswScore, BandedExactWhenBandCoversPath) {
+  util::Xoshiro256 rng(41);
+  const refdp::AffineParams p;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto t = common::randomSequence(rng, 100 + rng.below(100));
+    const auto q = common::mutateSequence(rng, t, rng.below(10));
+    KswConfig banded;
+    banded.band = 24;  // mutation load <= 10 edits => path within band
+    EXPECT_EQ(kswScore(t, q, banded), refdp::affineScore(t, q, p));
+  }
+}
+
+TEST(KswScore, NarrowBandNeverOverestimates) {
+  util::Xoshiro256 rng(42);
+  const refdp::AffineParams p;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto t = common::randomSequence(rng, 80);
+    const auto q = common::randomSequence(rng, 80);
+    KswConfig banded;
+    banded.band = 3;
+    EXPECT_LE(kswScore(t, q, banded), refdp::affineScore(t, q, p));
+  }
+}
+
+TEST(KswAlign, CigarValidAndScoreConsistent) {
+  util::Xoshiro256 rng(43);
+  const refdp::AffineParams p;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto t = common::randomSequence(rng, 10 + rng.below(150));
+    const auto q = common::mutateSequence(rng, t, rng.below(20));
+    const auto res = kswAlign(t, q);
+    ASSERT_TRUE(res.ok);
+    const auto v = common::verifyAlignment(t, q, res.cigar);
+    ASSERT_TRUE(v.valid) << v.error;
+    EXPECT_EQ(cigarAffineScore(res.cigar, p), res.score);
+    EXPECT_EQ(res.score, refdp::affineScore(t, q, p));
+  }
+}
+
+TEST(KswAlign, BandedLongReadScale) {
+  util::Xoshiro256 rng(44);
+  const auto t = common::randomSequence(rng, 8000);
+  const auto q = common::mutateSequence(rng, t, 800);
+  KswConfig cfg;
+  cfg.band = 1000;
+  const auto res = kswAlign(t, q, cfg);
+  ASSERT_TRUE(res.ok);
+  const auto v = common::verifyAlignment(t, q, res.cigar);
+  ASSERT_TRUE(v.valid) << v.error;
+  EXPECT_EQ(cigarAffineScore(res.cigar, refdp::AffineParams{}), res.score);
+}
+
+TEST(KswAlign, EmptyInputs) {
+  EXPECT_EQ(kswAlign("", "").score, 0);
+  EXPECT_EQ(kswAlign("ACGT", "").cigar.str(), "4D");
+  EXPECT_EQ(kswAlign("", "ACGT").cigar.str(), "4I");
+}
+
+TEST(KswAlign, EditDistanceEquivalentParams) {
+  // With {0,1,0,1} parameters, -score equals unit edit distance: ties the
+  // affine machinery to the edit-distance aligners.
+  util::Xoshiro256 rng(45);
+  KswConfig cfg;
+  cfg.params = refdp::AffineParams::editDistanceEquivalent();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto t = common::randomSequence(rng, 20 + rng.below(120));
+    const auto q = common::mutateSequence(rng, t, rng.below(15));
+    const auto res = kswAlign(t, q, cfg);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(-res.score, refdp::editDistance(t, q));
+    EXPECT_TRUE(common::verifyAlignment(t, q, res.cigar).valid);
+  }
+}
+
+TEST(KswAlign, AffinePrefersContiguousGaps) {
+  // 3 separated 1-char gaps cost 3*(q+e)=18; one 3-char gap costs q+3e=10.
+  // The aligner must produce the contiguous-gap alignment when available.
+  const std::string t = "AAAATTTCCCCGGGG";
+  const std::string q = "AAAACCCCGGGG";
+  const auto res = kswAlign(t, q);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.cigar.count(common::EditOp::Deletion), 3u);
+  // One contiguous deletion run.
+  int runs = 0;
+  for (const auto& u : res.cigar.units()) {
+    runs += u.op == common::EditOp::Deletion;
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(KswAligner, ReusableAcrossCalls) {
+  KswAligner aligner;
+  util::Xoshiro256 rng(46);
+  const refdp::AffineParams p;
+  for (int t_i = 0; t_i < 10; ++t_i) {
+    const auto t = common::randomSequence(rng, 30 + rng.below(100));
+    const auto q = common::mutateSequence(rng, t, rng.below(10));
+    EXPECT_EQ(aligner.score(t, q), refdp::affineScore(t, q, p));
+    const auto res = aligner.align(t, q);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.score, refdp::affineScore(t, q, p));
+  }
+}
+
+}  // namespace
+}  // namespace gx::ksw

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/mapper/chain.hpp"
+#include "genasmx/mapper/index.hpp"
+#include "genasmx/mapper/mapper.hpp"
+#include "genasmx/mapper/minimizer.hpp"
+#include "genasmx/readsim/genome.hpp"
+#include "genasmx/readsim/read_simulator.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx::mapper {
+namespace {
+
+std::string testGenome(std::size_t len = 300'000, std::uint64_t seed = 11) {
+  readsim::GenomeConfig cfg;
+  cfg.length = len;
+  cfg.seed = seed;
+  cfg.repeat_fraction = 0.05;
+  return readsim::generateGenome(cfg);
+}
+
+// -------------------------------------------------------------- minimizers
+
+TEST(Minimizer, BasicProperties) {
+  util::Xoshiro256 rng(1);
+  const auto seq = common::randomSequence(rng, 10'000);
+  const auto mins = extractMinimizers(seq, 15, 10);
+  ASSERT_FALSE(mins.empty());
+  // Density: roughly 2/(w+1) of positions.
+  const double density =
+      static_cast<double>(mins.size()) / static_cast<double>(seq.size());
+  EXPECT_GT(density, 0.10);
+  EXPECT_LT(density, 0.30);
+  // Positions strictly increasing, in range.
+  for (std::size_t i = 1; i < mins.size(); ++i) {
+    EXPECT_LT(mins[i - 1].pos, mins[i].pos);
+  }
+  EXPECT_LE(mins.back().pos + 15, seq.size());
+}
+
+TEST(Minimizer, DeterministicAndSubstringConsistent) {
+  util::Xoshiro256 rng(2);
+  const auto seq = common::randomSequence(rng, 5'000);
+  const auto a = extractMinimizers(seq, 15, 10);
+  const auto b = extractMinimizers(seq, 15, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].pos, b[i].pos);
+  }
+}
+
+TEST(Minimizer, StrandSymmetry) {
+  // Canonical k-mers: a sequence and its reverse complement share keys.
+  util::Xoshiro256 rng(3);
+  const auto seq = common::randomSequence(rng, 2'000);
+  const auto rc = common::reverseComplement(seq);
+  auto keys_f = extractMinimizers(seq, 15, 10);
+  auto keys_r = extractMinimizers(rc, 15, 10);
+  std::vector<std::uint64_t> kf, kr;
+  for (const auto& m : keys_f) kf.push_back(m.key);
+  for (const auto& m : keys_r) kr.push_back(m.key);
+  std::sort(kf.begin(), kf.end());
+  std::sort(kr.begin(), kr.end());
+  // The two sets are (near-)identical: window boundaries can differ
+  // slightly at the ends, but the overwhelming majority must agree.
+  std::vector<std::uint64_t> common_keys;
+  std::set_intersection(kf.begin(), kf.end(), kr.begin(), kr.end(),
+                        std::back_inserter(common_keys));
+  EXPECT_GT(common_keys.size() * 10, kf.size() * 9);
+}
+
+TEST(Minimizer, ShortSequenceAndValidation) {
+  EXPECT_TRUE(extractMinimizers("ACGT", 15, 10).empty());
+  EXPECT_THROW(extractMinimizers("ACGT", 2, 10), std::invalid_argument);
+  EXPECT_THROW(extractMinimizers("ACGT", 40, 10), std::invalid_argument);
+  EXPECT_THROW(extractMinimizers("ACGT", 15, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- index
+
+TEST(Index, LookupFindsIndexedPositions) {
+  const auto genome = testGenome(100'000);
+  MinimizerIndex index;
+  index.build(genome, 15, 10, 1'000);
+  const auto mins = extractMinimizers(genome, 15, 10);
+  ASSERT_FALSE(mins.empty());
+  // Every indexed minimizer must be findable at its own position.
+  for (std::size_t i = 0; i < mins.size(); i += 97) {
+    const auto hits = index.lookup(mins[i].key);
+    const bool found = std::any_of(hits.begin(), hits.end(), [&](const IndexHit& h) {
+      return h.pos == mins[i].pos;
+    });
+    EXPECT_TRUE(found) << "minimizer " << i;
+  }
+}
+
+TEST(Index, UnknownKeyReturnsEmpty) {
+  const auto genome = testGenome(50'000);
+  MinimizerIndex index;
+  index.build(genome, 15, 10, 64);
+  EXPECT_TRUE(index.lookup(0xdeadbeefcafef00dULL).empty());
+}
+
+TEST(Index, OccurrenceCapMasksRepeats) {
+  // A genome that is one repeated unit: high-occurrence minimizers.
+  std::string unit;
+  util::Xoshiro256 rng(4);
+  unit = common::randomSequence(rng, 500);
+  std::string genome;
+  for (int i = 0; i < 100; ++i) genome += unit;
+  MinimizerIndex capped, uncapped;
+  capped.build(genome, 15, 10, 8);
+  uncapped.build(genome, 15, 10, 1'000'000);
+  EXPECT_LT(capped.size(), uncapped.size() / 4);
+}
+
+// -------------------------------------------------------------------- chain
+
+TEST(Chain, PerfectColinearAnchorsFormOneChain) {
+  std::vector<Anchor> anchors;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    anchors.push_back(Anchor{i * 40, 5'000 + i * 40});
+  }
+  ChainParams params;
+  const auto chains = chainAnchors(anchors, params);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].anchors, 20);
+  EXPECT_EQ(chains[0].ref_begin, 5'000u);
+  EXPECT_EQ(chains[0].read_begin, 0u);
+}
+
+TEST(Chain, TwoLociFormTwoChains) {
+  std::vector<Anchor> anchors;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    anchors.push_back(Anchor{i * 40, 5'000 + i * 40});
+    anchors.push_back(Anchor{i * 40, 150'000 + i * 40});
+  }
+  ChainParams params;
+  const auto chains = chainAnchors(anchors, params);
+  ASSERT_EQ(chains.size(), 2u);  // -P behaviour: both loci reported
+  EXPECT_EQ(chains[0].anchors, 10);
+  EXPECT_EQ(chains[1].anchors, 10);
+}
+
+TEST(Chain, MinAnchorsFiltersNoise) {
+  std::vector<Anchor> anchors = {{100, 900}, {50'000, 200'000}};
+  ChainParams params;
+  params.min_anchors = 3;
+  EXPECT_TRUE(chainAnchors(anchors, params).empty());
+}
+
+TEST(Chain, EmptyInput) {
+  EXPECT_TRUE(chainAnchors({}, ChainParams{}).empty());
+}
+
+// ------------------------------------------------------------------- mapper
+
+TEST(Mapper, FindsTrueOriginOfSimulatedReads) {
+  const auto genome = testGenome(300'000);
+  Mapper mapper{std::string(genome)};
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(25, 3'000);
+  const auto reads = readsim::simulateReads(genome, rcfg);
+  int located = 0;
+  for (const auto& r : reads) {
+    const auto candidates = mapper.map(r.seq);
+    for (const auto& c : candidates) {
+      const bool overlaps = c.ref_begin < r.origin_pos + r.origin_len &&
+                            r.origin_pos < c.ref_end;
+      if (overlaps && c.reverse == r.reverse_strand) {
+        ++located;
+        break;
+      }
+    }
+  }
+  // 10%-error long reads must map reliably.
+  EXPECT_GE(located, 23) << "of " << reads.size();
+}
+
+TEST(Mapper, BestCandidateCoversMostOfTheRead) {
+  const auto genome = testGenome(200'000, 13);
+  Mapper mapper{std::string(genome)};
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(10, 2'000);
+  rcfg.both_strands = false;
+  const auto reads = readsim::simulateReads(genome, rcfg);
+  for (const auto& r : reads) {
+    const auto candidates = mapper.map(r.seq);
+    ASSERT_FALSE(candidates.empty());
+    const auto& best = candidates.front();
+    const std::size_t span = best.ref_end - best.ref_begin;
+    EXPECT_GT(span, r.seq.size() / 2);
+    EXPECT_LT(span, r.seq.size() * 2);
+  }
+}
+
+TEST(Mapper, RepeatsYieldMultipleCandidates) {
+  // Heavy repeats: reads from a repeat land in several places (-P shape).
+  readsim::GenomeConfig gcfg;
+  gcfg.length = 200'000;
+  gcfg.repeat_fraction = 0.5;
+  gcfg.repeat_unit = 5'000;
+  gcfg.repeat_divergence = 0.01;
+  gcfg.seed = 17;
+  const auto genome = readsim::generateGenome(gcfg);
+  Mapper mapper{std::string(genome)};
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(20, 2'000);
+  rcfg.seed = 5;
+  const auto reads = readsim::simulateReads(genome, rcfg);
+  std::size_t total_candidates = 0;
+  for (const auto& r : reads) {
+    total_candidates += mapper.map(r.seq).size();
+  }
+  EXPECT_GT(total_candidates, reads.size());  // secondaries exist
+}
+
+TEST(Mapper, BuildAlignmentPairsOrientsQueries) {
+  const auto genome = testGenome(150'000, 19);
+  Mapper mapper{std::string(genome)};
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(6, 1'500);
+  const auto reads = readsim::simulateReads(genome, rcfg);
+  for (const auto& r : reads) {
+    const auto pairs = buildAlignmentPairs(mapper, r.seq, 3);
+    for (const auto& p : pairs) {
+      EXPECT_FALSE(p.target.empty());
+      EXPECT_EQ(p.query.size(), r.seq.size());
+    }
+  }
+}
+
+TEST(Mapper, RandomReadYieldsNoConfidentCandidate) {
+  const auto genome = testGenome(100'000, 23);
+  Mapper mapper{std::string(genome)};
+  util::Xoshiro256 rng(99);
+  const auto junk = common::randomSequence(rng, 2'000);
+  const auto candidates = mapper.map(junk);
+  // A random 2 kb sequence should produce at most incidental hits.
+  EXPECT_LE(candidates.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gx::mapper

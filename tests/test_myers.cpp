@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/common/verify.hpp"
+#include "genasmx/myers/myers.hpp"
+#include "genasmx/refdp/edit_dp.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx::myers {
+namespace {
+
+TEST(MyersDistance, KnownCases) {
+  EXPECT_EQ(myersDistance("", ""), 0);
+  EXPECT_EQ(myersDistance("ACGT", "ACGT"), 0);
+  EXPECT_EQ(myersDistance("ACGT", ""), 4);
+  EXPECT_EQ(myersDistance("", "ACGT"), 4);
+  EXPECT_EQ(myersDistance("ACGT", "AGGT"), 1);
+  EXPECT_EQ(myersDistance("ACGT", "AGT"), 1);
+  EXPECT_EQ(myersDistance("AGT", "ACGT"), 1);
+  EXPECT_EQ(myersDistance("AAAA", "TTTT"), 4);
+  EXPECT_EQ(myersDistance("GCTAGCT", "CTAGCTA"), 2);
+}
+
+TEST(MyersDistance, MaxKCapFailsGracefully) {
+  MyersConfig cfg;
+  cfg.max_k = 3;
+  EXPECT_EQ(myersDistance("AAAAAAAA", "TTTTTTTT", cfg), -1);
+  cfg.max_k = 8;
+  EXPECT_EQ(myersDistance("AAAAAAAA", "TTTTTTTT", cfg), 8);
+}
+
+TEST(MyersDistance, SmallInitialBandStillExact) {
+  // Force repeated band doubling.
+  util::Xoshiro256 rng(31);
+  MyersConfig cfg;
+  cfg.initial_k = 1;
+  for (int t = 0; t < 15; ++t) {
+    const auto a = common::randomSequence(rng, 100 + rng.below(100));
+    const auto b = common::mutateSequence(rng, a, rng.below(40));
+    EXPECT_EQ(myersDistance(a, b, cfg), refdp::editDistance(a, b));
+  }
+}
+
+class MyersSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MyersSweep, MatchesOracle) {
+  const auto [seed, len, edits] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 6151 + 7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto t = common::randomSequence(rng, static_cast<std::size_t>(len));
+    const auto q =
+        common::mutateSequence(rng, t, static_cast<std::size_t>(edits));
+    EXPECT_EQ(myersDistance(t, q), refdp::editDistance(t, q))
+        << "t=" << t << "\nq=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsByEdits, MyersSweep,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values(1, 30, 63, 64, 65, 127, 128, 129,
+                                         200, 500),
+                       ::testing::Values(0, 1, 5, 20)),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param)) + "_e" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(MyersDistance, UnrelatedPairs) {
+  util::Xoshiro256 rng(33);
+  for (int t = 0; t < 15; ++t) {
+    const auto a = common::randomSequence(rng, 10 + rng.below(150));
+    const auto b = common::randomSequence(rng, 10 + rng.below(150));
+    EXPECT_EQ(myersDistance(a, b), refdp::editDistance(a, b));
+  }
+}
+
+TEST(MyersAlign, CigarValidAndOptimal) {
+  util::Xoshiro256 rng(35);
+  for (int t = 0; t < 30; ++t) {
+    const auto a = common::randomSequence(rng, 10 + rng.below(200));
+    const auto b = common::mutateSequence(rng, a, rng.below(25));
+    const auto res = myersAlign(a, b);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.edit_distance, refdp::editDistance(a, b));
+    const auto v = common::verifyAlignment(a, b, res.cigar);
+    ASSERT_TRUE(v.valid) << v.error;
+    EXPECT_EQ(static_cast<int>(v.cost), res.edit_distance);
+  }
+}
+
+TEST(MyersAlign, EmptyInputs) {
+  EXPECT_EQ(myersAlign("", "").edit_distance, 0);
+  EXPECT_EQ(myersAlign("ACGT", "").cigar.str(), "4D");
+  EXPECT_EQ(myersAlign("", "ACGT").cigar.str(), "4I");
+}
+
+TEST(MyersAlign, IdenticalLongSequences) {
+  util::Xoshiro256 rng(36);
+  const auto s = common::randomSequence(rng, 3000);
+  const auto res = myersAlign(s, s);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.edit_distance, 0);
+  EXPECT_EQ(res.cigar.str(), "3000=");
+}
+
+TEST(MyersAlign, MultiBlockBoundaries) {
+  util::Xoshiro256 rng(37);
+  for (int len : {63, 64, 65, 127, 128, 129, 191, 192, 193, 320}) {
+    const auto t = common::randomSequence(rng, static_cast<std::size_t>(len));
+    const auto q = common::mutateSequence(rng, t, 7);
+    const auto res = myersAlign(t, q);
+    ASSERT_TRUE(res.ok) << len;
+    EXPECT_EQ(res.edit_distance, refdp::editDistance(t, q)) << len;
+    EXPECT_TRUE(common::verifyAlignment(t, q, res.cigar).valid) << len;
+  }
+}
+
+TEST(MyersAlign, LongReadScale) {
+  // 10kb at ~10% error — the paper's workload shape for Edlib.
+  util::Xoshiro256 rng(38);
+  const auto t = common::randomSequence(rng, 10000);
+  const auto q = common::mutateSequence(rng, t, 1000);
+  const auto res = myersAlign(t, q);
+  ASSERT_TRUE(res.ok);
+  const auto v = common::verifyAlignment(t, q, res.cigar);
+  ASSERT_TRUE(v.valid) << v.error;
+  EXPECT_EQ(static_cast<int>(v.cost), res.edit_distance);
+  EXPECT_LE(res.edit_distance, 1000);
+}
+
+TEST(MyersAligner, ReusableAcrossCalls) {
+  MyersAligner aligner;
+  util::Xoshiro256 rng(39);
+  for (int t = 0; t < 10; ++t) {
+    const auto a = common::randomSequence(rng, 50 + rng.below(100));
+    const auto b = common::mutateSequence(rng, a, rng.below(12));
+    EXPECT_EQ(aligner.distance(a, b), refdp::editDistance(a, b));
+    const auto res = aligner.align(a, b);
+    ASSERT_TRUE(res.ok);
+    EXPECT_TRUE(common::verifyAlignment(a, b, res.cigar).valid);
+  }
+}
+
+TEST(MyersDistance, VeryAsymmetricLengths) {
+  util::Xoshiro256 rng(40);
+  const auto a = common::randomSequence(rng, 500);
+  const auto b = a.substr(100, 80);
+  EXPECT_EQ(myersDistance(a, b), refdp::editDistance(a, b));
+  EXPECT_EQ(myersDistance(b, a), refdp::editDistance(b, a));
+}
+
+}  // namespace
+}  // namespace gx::myers

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/readsim/genome.hpp"
+#include "genasmx/readsim/read_simulator.hpp"
+#include "genasmx/refdp/edit_dp.hpp"
+
+namespace gx::readsim {
+namespace {
+
+TEST(Genome, LengthAndAlphabet) {
+  GenomeConfig cfg;
+  cfg.length = 50'000;
+  const auto g = generateGenome(cfg);
+  EXPECT_EQ(g.size(), 50'000u);
+  for (char c : g) {
+    ASSERT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+  }
+}
+
+TEST(Genome, DeterministicBySeed) {
+  GenomeConfig cfg;
+  cfg.length = 20'000;
+  EXPECT_EQ(generateGenome(cfg), generateGenome(cfg));
+  cfg.seed = 43;
+  EXPECT_NE(generateGenome(cfg), generateGenome(GenomeConfig{}));
+}
+
+TEST(Genome, RepeatsCreateDuplicatedContent) {
+  GenomeConfig with;
+  with.length = 200'000;
+  with.repeat_fraction = 0.30;
+  with.repeat_unit = 1'000;
+  with.repeat_divergence = 0.0;
+  const auto g = generateGenome(with);
+  // Count exact 64-mers occurring more than once via sampling.
+  std::vector<std::string> kmers;
+  for (std::size_t i = 0; i + 64 <= g.size(); i += 512) {
+    kmers.push_back(g.substr(i, 64));
+  }
+  std::sort(kmers.begin(), kmers.end());
+  int dupes = 0;
+  for (std::size_t i = 1; i < kmers.size(); ++i) {
+    dupes += kmers[i] == kmers[i - 1];
+  }
+  EXPECT_GT(dupes, 0);  // repeats exist
+}
+
+TEST(ReadSim, CountLengthStrand) {
+  GenomeConfig gcfg;
+  gcfg.length = 100'000;
+  const auto genome = generateGenome(gcfg);
+  auto cfg = ReadSimConfig::pacbioClr(50, 2'000);
+  const auto reads = simulateReads(genome, cfg);
+  ASSERT_EQ(reads.size(), 50u);
+  int reverse = 0;
+  for (const auto& r : reads) {
+    EXPECT_EQ(r.seq.size(), 2'000u);
+    EXPECT_LE(r.origin_pos + r.origin_len, genome.size());
+    reverse += r.reverse_strand;
+  }
+  EXPECT_GT(reverse, 10);  // both strands sampled
+  EXPECT_LT(reverse, 40);
+}
+
+TEST(ReadSim, DeterministicBySeed) {
+  GenomeConfig gcfg;
+  gcfg.length = 60'000;
+  const auto genome = generateGenome(gcfg);
+  const auto cfg = ReadSimConfig::pacbioClr(10, 1'000);
+  const auto a = simulateReads(genome, cfg);
+  const auto b = simulateReads(genome, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].origin_pos, b[i].origin_pos);
+  }
+}
+
+TEST(ReadSim, ErrorRateNearConfigured) {
+  GenomeConfig gcfg;
+  gcfg.length = 400'000;
+  const auto genome = generateGenome(gcfg);
+  auto cfg = ReadSimConfig::pacbioClr(40, 4'000);
+  const auto reads = simulateReads(genome, cfg);
+  double total_edits = 0, total_bases = 0;
+  for (const auto& r : reads) {
+    total_edits += r.true_edits;
+    total_bases += static_cast<double>(r.seq.size());
+  }
+  const double rate = total_edits / total_bases;
+  EXPECT_GT(rate, 0.07);
+  EXPECT_LT(rate, 0.14);
+}
+
+TEST(ReadSim, TrueEditsBoundTheRealDistance) {
+  // The injected-error count upper-bounds the true edit distance between
+  // the read and its origin window.
+  GenomeConfig gcfg;
+  gcfg.length = 80'000;
+  const auto genome = generateGenome(gcfg);
+  auto cfg = ReadSimConfig::pacbioClr(15, 600);
+  cfg.both_strands = false;
+  const auto reads = simulateReads(genome, cfg);
+  for (const auto& r : reads) {
+    const auto origin =
+        std::string_view(genome).substr(r.origin_pos, r.origin_len);
+    const int d = refdp::editDistance(origin, r.seq);
+    EXPECT_LE(d, static_cast<int>(r.true_edits));
+    EXPECT_GT(d, 0);  // 600 bases at 10% errors: certainly nonzero
+  }
+}
+
+TEST(ReadSim, ReverseStrandReadsMatchRevCompOrigin) {
+  GenomeConfig gcfg;
+  gcfg.length = 80'000;
+  const auto genome = generateGenome(gcfg);
+  auto cfg = ReadSimConfig::pacbioClr(30, 500);
+  const auto reads = simulateReads(genome, cfg);
+  for (const auto& r : reads) {
+    if (!r.reverse_strand) continue;
+    const auto origin =
+        std::string(genome).substr(r.origin_pos, r.origin_len);
+    const auto rc_read = common::reverseComplement(r.seq);
+    EXPECT_LE(refdp::editDistance(origin, rc_read),
+              static_cast<int>(r.true_edits));
+    return;  // one deep check is enough (O(n*m) oracle)
+  }
+}
+
+TEST(ReadSim, IlluminaPresetIsSubstitutionDominated) {
+  GenomeConfig gcfg;
+  gcfg.length = 100'000;
+  const auto genome = generateGenome(gcfg);
+  auto cfg = ReadSimConfig::illumina(200, 150);
+  cfg.both_strands = false;
+  const auto reads = simulateReads(genome, cfg);
+  double edits = 0, len_dev = 0;
+  for (const auto& r : reads) {
+    edits += r.true_edits;
+    len_dev += std::abs(static_cast<double>(r.origin_len) -
+                        static_cast<double>(r.seq.size()));
+  }
+  EXPECT_LT(edits / (200.0 * 150.0), 0.01);  // ~0.3% error rate
+  EXPECT_LT(len_dev / 200.0, 2.0);  // indels rare => origin ~ read length
+}
+
+TEST(ReadSim, RejectsTinyGenome) {
+  EXPECT_THROW(simulateReads("ACGT", ReadSimConfig::pacbioClr(1, 100)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gx::readsim
