@@ -8,9 +8,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "genasmx/core/windowed.hpp"
+#include "genasmx/engine/registry.hpp"
 #include "genasmx/gpukernels/genasm_kernels.hpp"
-#include "genasmx/myers/myers.hpp"
 
 int main(int argc, char** argv) {
   using namespace gx;
@@ -21,10 +20,10 @@ int main(int argc, char** argv) {
   bench::printWorkload(cfg, w);
 
   // Edlib-class reference.
-  myers::MyersAligner myers_aligner;
+  const auto myers_aligner = engine::makeAligner("myers");
   const double edlib_s = bench::timeIt([&] {
     for (const auto& p : w.pairs) {
-      (void)myers_aligner.align(p.target, p.query);
+      (void)myers_aligner->align(p.target, p.query);
     }
   });
   std::printf("%-40s %10.3fs (reference)\n\n", "Edlib-class CPU", edlib_s);
@@ -52,21 +51,15 @@ int main(int argc, char** argv) {
   std::printf("%-36s %10s %12s %14s %10s\n", "CPU variant", "seconds",
               "vs Edlib", "GPU align/s", "GPU spill");
   for (const auto& v : variants) {
-    double s;
-    if (v.baseline) {
-      s = bench::timeIt([&] {
-        for (const auto& p : w.pairs) {
-          (void)core::alignWindowedBaseline(p.target, p.query);
-        }
-      });
-    } else {
-      s = bench::timeIt([&] {
-        for (const auto& p : w.pairs) {
-          (void)core::alignWindowedImproved(p.target, p.query,
-                                            core::WindowConfig{}, v.opts);
-        }
-      });
-    }
+    engine::AlignerConfig acfg;
+    acfg.improved = v.opts;
+    const auto aligner = engine::makeAligner(
+        v.baseline ? "windowed-baseline" : "windowed-improved", acfg);
+    const double s = bench::timeIt([&] {
+      for (const auto& p : w.pairs) {
+        (void)aligner->align(p.target, p.query);
+      }
+    });
     const auto gpu =
         v.baseline
             ? gpukernels::alignBatchBaseline(device, w.pairs)

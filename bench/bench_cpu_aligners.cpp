@@ -5,23 +5,24 @@
 // improvements, respectively."
 //
 // This harness aligns the same candidate pairs with all four CPU
-// aligners and prints measured throughput plus the three speedup rows in
-// the paper's order. Absolute throughput depends on the host; the rows
-// to compare are the ratios.
+// aligners — selected by name through the engine::AlignerRegistry, like
+// every other consumer — and prints measured throughput plus the three
+// speedup rows in the paper's order. Absolute throughput depends on the
+// host; the rows to compare are the ratios.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "genasmx/core/windowed.hpp"
-#include "genasmx/ksw/ksw_affine.hpp"
-#include "genasmx/myers/myers.hpp"
+#include "genasmx/engine/registry.hpp"
 
 namespace {
 
 struct Row {
-  const char* name;
-  double seconds;
-  std::uint64_t total_cost;
+  const char* label;
+  const char* backend;
+  double seconds = 0;
+  std::uint64_t total_cost = 0;
 };
 
 }  // namespace
@@ -35,57 +36,29 @@ int main(int argc, char** argv) {
   const auto w = bench::buildWorkload(cfg);
   bench::printWorkload(cfg, w);
 
-  std::vector<Row> rows;
+  engine::AlignerConfig acfg;
+  acfg.ksw.band = 751;  // minimap2's long-read bandwidth regime
 
-  {  // KSW2-class: banded affine DP (minimap2's base aligner).
-    ksw::KswConfig kcfg;
-    kcfg.band = 751;  // minimap2's long-read bandwidth regime
-    ksw::KswAligner aligner(kcfg);
-    std::uint64_t cost = 0;
-    const double s = bench::timeIt([&] {
+  std::vector<Row> rows = {
+      {"KSW2-class (banded affine)", "ksw"},
+      {"Edlib-class (Myers bitvector)", "myers"},
+      {"GenASM baseline (MICRO'20)", "windowed-baseline"},
+      {"GenASM improved (this paper)", "windowed-improved"},
+  };
+  for (auto& r : rows) {
+    const auto aligner = engine::makeAligner(r.backend, acfg);
+    r.seconds = bench::timeIt([&] {
       for (const auto& p : w.pairs) {
-        cost += static_cast<std::uint64_t>(
-            aligner.align(p.target, p.query).edit_distance);
+        r.total_cost += static_cast<std::uint64_t>(
+            aligner->align(p.target, p.query).edit_distance);
       }
     });
-    rows.push_back({"KSW2-class (banded affine)", s, cost});
-  }
-  {  // Edlib-class: Myers bit-parallel + band doubling.
-    myers::MyersAligner aligner;
-    std::uint64_t cost = 0;
-    const double s = bench::timeIt([&] {
-      for (const auto& p : w.pairs) {
-        cost += static_cast<std::uint64_t>(
-            aligner.align(p.target, p.query).edit_distance);
-      }
-    });
-    rows.push_back({"Edlib-class (Myers bitvector)", s, cost});
-  }
-  {  // GenASM baseline (unimproved).
-    std::uint64_t cost = 0;
-    const double s = bench::timeIt([&] {
-      for (const auto& p : w.pairs) {
-        cost += static_cast<std::uint64_t>(
-            core::alignWindowedBaseline(p.target, p.query).edit_distance);
-      }
-    });
-    rows.push_back({"GenASM baseline (MICRO'20)", s, cost});
-  }
-  {  // GenASM improved (this paper).
-    std::uint64_t cost = 0;
-    const double s = bench::timeIt([&] {
-      for (const auto& p : w.pairs) {
-        cost += static_cast<std::uint64_t>(
-            core::alignWindowedImproved(p.target, p.query).edit_distance);
-      }
-    });
-    rows.push_back({"GenASM improved (this paper)", s, cost});
   }
 
   std::printf("%-32s %12s %14s %12s\n", "aligner", "seconds",
               "alignments/s", "total cost");
   for (const auto& r : rows) {
-    std::printf("%-32s %12.3f %14.1f %12llu\n", r.name, r.seconds,
+    std::printf("%-32s %12.3f %14.1f %12llu\n", r.label, r.seconds,
                 static_cast<double>(w.pairs.size()) / r.seconds,
                 static_cast<unsigned long long>(r.total_cost));
   }

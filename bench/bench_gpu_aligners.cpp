@@ -13,10 +13,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "genasmx/core/windowed.hpp"
+#include "genasmx/engine/registry.hpp"
 #include "genasmx/gpukernels/genasm_kernels.hpp"
-#include "genasmx/ksw/ksw_affine.hpp"
-#include "genasmx/myers/myers.hpp"
 
 int main(int argc, char** argv) {
   using namespace gx;
@@ -30,25 +28,19 @@ int main(int argc, char** argv) {
   const double n_pairs = static_cast<double>(w.pairs.size());
 
   // --- measured CPU baselines (single thread), scaled to 48 threads.
-  ksw::KswConfig kcfg;
-  kcfg.band = 751;
-  ksw::KswAligner ksw_aligner(kcfg);
-  const double ksw_s = bench::timeIt([&] {
-    for (const auto& p : w.pairs) {
-      (void)ksw_aligner.align(p.target, p.query);
-    }
-  });
-  myers::MyersAligner myers_aligner;
-  const double myers_s = bench::timeIt([&] {
-    for (const auto& p : w.pairs) {
-      (void)myers_aligner.align(p.target, p.query);
-    }
-  });
-  const double cpu_improved_s = bench::timeIt([&] {
-    for (const auto& p : w.pairs) {
-      (void)core::alignWindowedImproved(p.target, p.query);
-    }
-  });
+  engine::AlignerConfig acfg;
+  acfg.ksw.band = 751;
+  auto timeBackend = [&](const char* backend) {
+    const auto aligner = engine::makeAligner(backend, acfg);
+    return bench::timeIt([&] {
+      for (const auto& p : w.pairs) {
+        (void)aligner->align(p.target, p.query);
+      }
+    });
+  };
+  const double ksw_s = timeBackend("ksw");
+  const double myers_s = timeBackend("myers");
+  const double cpu_improved_s = timeBackend("windowed-improved");
 
   // --- simulated GPU kernels.
   gpusim::Device device;

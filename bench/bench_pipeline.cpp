@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "genasmx/core/windowed.hpp"
+#include "genasmx/engine/registry.hpp"
 #include "genasmx/io/paf.hpp"
 #include "genasmx/util/stats.hpp"
 #include "genasmx/util/timer.hpp"
@@ -58,8 +58,9 @@ int main(int argc, char** argv) {
   timer.reset();
   std::uint64_t total_cost = 0;
   util::Summary cost_per_pair;
+  const auto aligner = engine::makeAligner("windowed-improved");
   for (const auto& p : pairs) {
-    const auto res = core::alignWindowedImproved(p.target, p.query);
+    const auto res = aligner->align(p.target, p.query);
     total_cost += static_cast<std::uint64_t>(res.edit_distance);
     cost_per_pair.add(res.edit_distance);
   }

@@ -3,15 +3,13 @@
 // Paper: the implementations are "capable of aligning both short and
 // long reads". This series runs every aligner across read lengths and
 // error rates and prints the per-configuration throughput, showing where
-// each aligner wins.
+// each aligner wins. Aligners come from the engine::AlignerRegistry.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "genasmx/core/windowed.hpp"
-#include "genasmx/ksw/ksw_affine.hpp"
-#include "genasmx/myers/myers.hpp"
+#include "genasmx/engine/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace gx;
@@ -27,6 +25,8 @@ int main(int argc, char** argv) {
       {100, 0.01}, {100, 0.05}, {250, 0.01}, {250, 0.05},
       {1'000, 0.05}, {1'000, 0.10}, {5'000, 0.10}, {5'000, 0.15},
   };
+  const char* backends[] = {"ksw", "myers", "windowed-baseline",
+                            "windowed-improved"};
 
   std::printf("%-8s %-6s %8s | %12s %12s %12s %12s   (alignments/s)\n",
               "length", "err", "pairs", "KSW2-class", "Edlib-class",
@@ -41,29 +41,20 @@ int main(int argc, char** argv) {
     if (w.pairs.empty()) continue;
     const double n = static_cast<double>(w.pairs.size());
 
-    ksw::KswConfig kcfg;
-    kcfg.band = pt.length >= 1'000 ? 751 : -1;
-    ksw::KswAligner ksw_aligner(kcfg);
-    const double ksw_s = bench::timeIt([&] {
-      for (const auto& p : w.pairs) (void)ksw_aligner.align(p.target, p.query);
-    });
-    myers::MyersAligner myers_aligner;
-    const double myers_s = bench::timeIt([&] {
-      for (const auto& p : w.pairs) (void)myers_aligner.align(p.target, p.query);
-    });
-    const double base_s = bench::timeIt([&] {
-      for (const auto& p : w.pairs) {
-        (void)core::alignWindowedBaseline(p.target, p.query);
-      }
-    });
-    const double impr_s = bench::timeIt([&] {
-      for (const auto& p : w.pairs) {
-        (void)core::alignWindowedImproved(p.target, p.query);
-      }
-    });
+    engine::AlignerConfig acfg;
+    acfg.ksw.band = pt.length >= 1'000 ? 751 : -1;
+
+    double rate[4] = {};
+    for (int b = 0; b < 4; ++b) {
+      const auto aligner = engine::makeAligner(backends[b], acfg);
+      const double s = bench::timeIt([&] {
+        for (const auto& p : w.pairs) (void)aligner->align(p.target, p.query);
+      });
+      rate[b] = n / s;
+    }
     std::printf("%-8zu %-6.2f %8zu | %12.1f %12.1f %12.1f %12.1f\n",
-                pt.length, pt.error, w.pairs.size(), n / ksw_s, n / myers_s,
-                n / base_s, n / impr_s);
+                pt.length, pt.error, w.pairs.size(), rate[0], rate[1],
+                rate[2], rate[3]);
   }
   std::printf(
       "\nExpected shape: GenASM-improved leads at long lengths; at very "

@@ -9,8 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "genasmx/core/windowed.hpp"
-#include "genasmx/myers/myers.hpp"
+#include "genasmx/engine/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace gx;
@@ -21,10 +20,10 @@ int main(int argc, char** argv) {
   bench::printWorkload(cfg, w);
 
   // Optimal costs as the accuracy reference.
-  myers::MyersAligner oracle;
+  const auto oracle = engine::makeAligner("myers");
   double optimal_total = 0;
   for (const auto& p : w.pairs) {
-    optimal_total += oracle.align(p.target, p.query).edit_distance;
+    optimal_total += oracle->align(p.target, p.query).edit_distance;
   }
 
   struct Geometry {
@@ -42,15 +41,15 @@ int main(int argc, char** argv) {
   std::printf("%-8s %-8s %-10s %10s %12s %14s\n", "W", "O", "lookahead",
               "seconds", "cost ratio", "alignments/s");
   for (const auto& g : sweep) {
-    core::WindowConfig wc;
-    wc.window = g.window;
-    wc.overlap = g.overlap;
-    wc.lookahead = g.lookahead;
+    engine::AlignerConfig acfg;
+    acfg.window.window = g.window;
+    acfg.window.overlap = g.overlap;
+    acfg.window.lookahead = g.lookahead;
+    const auto aligner = engine::makeAligner("windowed-improved", acfg);
     double total_cost = 0;
     const double s = bench::timeIt([&] {
       for (const auto& p : w.pairs) {
-        total_cost +=
-            core::alignWindowedImproved(p.target, p.query, wc).edit_distance;
+        total_cost += aligner->align(p.target, p.query).edit_distance;
       }
     });
     std::printf("%-8d %-8d %-10d %10.3f %12.4f %14.1f\n", g.window, g.overlap,

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "genasmx/common/verify.hpp"
-#include "genasmx/core/windowed.hpp"
+#include "genasmx/engine/registry.hpp"
 #include "genasmx/io/paf.hpp"
 #include "genasmx/mapper/mapper.hpp"
 #include "genasmx/readsim/genome.hpp"
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[%.2fs] index: %zu minimizers\n", timer.seconds(),
                mapper.index().size());
 
+  const auto aligner = engine::makeAligner("windowed-improved");
   std::size_t aligned = 0, correct_locus = 0;
   for (const auto& read : reads) {
     const auto candidates = mapper.map(read.seq);
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
       const std::string query = cand.reverse
                                     ? common::reverseComplement(read.seq)
                                     : read.seq;
-      const auto res = core::alignWindowedImproved(target, query);
+      const auto res = aligner->align(target, query);
       if (!res.ok) continue;
       ++aligned;
 

@@ -11,7 +11,7 @@
 
 #include "genasmx/common/verify.hpp"
 #include "genasmx/core/genasm_improved.hpp"
-#include "genasmx/core/windowed.hpp"
+#include "genasmx/engine/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace gx;
@@ -22,16 +22,18 @@ int main(int argc, char** argv) {
     query = argv[2];
   }
 
-  // Short pairs: direct global alignment.
-  // Long pairs: the windowed driver (this is what the benchmarks use).
-  const common::AlignmentResult res =
-      query.size() <= 512 ? core::alignGlobalImproved(target, query)
-                          : core::alignWindowedImproved(target, query);
+  // Backends are created by name through the registry; "improved" runs
+  // the paper's algorithm — direct global alignment for short pairs and
+  // the windowed driver beyond 512 bp (what the benchmarks use).
+  const engine::AlignerPtr aligner = engine::makeAligner("improved");
+  const common::AlignmentResult res = aligner->align(target, query);
   if (!res.ok) {
     std::printf("alignment failed\n");
     return 1;
   }
 
+  std::printf("backend       : %s\n",
+              std::string(aligner->name()).c_str());
   std::printf("edit distance : %d\n", res.edit_distance);
   std::printf("CIGAR         : %s\n", res.cigar.str().c_str());
 
@@ -41,7 +43,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(v.cost));
   std::printf("\n%s", common::renderAlignment(target, query, res.cigar).c_str());
 
-  // The three improvements can be toggled individually (ablation):
+  // The three improvements can be toggled individually (ablation). The
+  // solver-level entry point exposes the DP-memory instrumentation the
+  // engine interface intentionally hides.
   core::ImprovedOptions no_et = core::ImprovedOptions::all();
   no_et.early_termination = false;
   util::MemStats with_et_stats, no_et_stats;

@@ -1,23 +1,19 @@
-// Short-read batch alignment: Illumina-class reads aligned with all four
-// aligners and cross-checked — demonstrating the paper's claim that the
-// implementations handle "both short and long reads", plus multi-threaded
-// batching with the thread pool.
+// Short-read batch alignment: Illumina-class reads aligned with the
+// unified AlignmentEngine and cross-checked against other registered
+// backends — demonstrating the paper's claim that the implementations
+// handle "both short and long reads", plus multi-threaded batching.
 //
 //   ./build/examples/short_read_alignment [reads] [threads]
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "genasmx/common/verify.hpp"
-#include "genasmx/core/genasm_improved.hpp"
-#include "genasmx/ksw/ksw_affine.hpp"
+#include "genasmx/engine/engine.hpp"
 #include "genasmx/mapper/mapper.hpp"
-#include "genasmx/myers/myers.hpp"
 #include "genasmx/readsim/genome.hpp"
 #include "genasmx/readsim/read_simulator.hpp"
-#include "genasmx/util/thread_pool.hpp"
 #include "genasmx/util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -43,20 +39,18 @@ int main(int argc, char** argv) {
   std::printf("aligning %zu short-read pairs (150 bp, ~0.3%% error)\n",
               pairs.size());
 
-  // Improved GenASM across the thread pool.
-  util::ThreadPool pool(n_threads);
-  std::vector<common::AlignmentResult> results(pairs.size());
+  // Improved GenASM across the engine's thread pool. 150 bp reads take
+  // the solver's direct global path (no windowing).
+  engine::EngineConfig ec;
+  ec.backend = "improved";
+  ec.threads = n_threads;
+  engine::AlignmentEngine eng(ec);
   util::Timer timer;
-  pool.parallel_for(pairs.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      results[i] =
-          core::alignGlobalImproved(pairs[i].target, pairs[i].query);
-    }
-  });
+  const auto results = eng.alignBatch(pairs);
   const double genasm_s = timer.seconds();
 
-  // Cross-check against the Edlib-class aligner and verify every CIGAR.
-  myers::MyersAligner myers_aligner;
+  // Cross-check against the Edlib-class backend and verify every CIGAR.
+  const auto myers_aligner = engine::makeAligner("myers");
   std::size_t verified = 0, optimal = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (!results[i].ok) continue;
@@ -64,21 +58,21 @@ int main(int argc, char** argv) {
                                            results[i].cigar);
     verified += v.valid;
     optimal += results[i].edit_distance ==
-               myers_aligner.distance(pairs[i].target, pairs[i].query);
+               myers_aligner->distance(pairs[i].target, pairs[i].query);
   }
   std::printf("GenASM improved (x%zu threads): %.3fs (%.0f pairs/s)\n",
-              pool.size(), genasm_s,
+              eng.threads(), genasm_s,
               static_cast<double>(pairs.size()) / genasm_s);
   std::printf("verified CIGARs : %zu/%zu\n", verified, pairs.size());
   std::printf("optimal cost    : %zu/%zu (global mode is exact)\n", optimal,
               pairs.size());
 
-  // Affine scoring view of the same pairs (KSW2-class).
-  ksw::KswAligner ksw_aligner;
+  // Affine scoring view of the same pairs (KSW2-class backend).
+  const auto ksw_aligner = engine::makeAligner("ksw");
   timer.reset();
   long long total_score = 0;
   for (const auto& p : pairs) {
-    total_score += ksw_aligner.align(p.target, p.query).score;
+    total_score += ksw_aligner->align(p.target, p.query).score;
   }
   std::printf("KSW2-class affine pass: %.3fs, mean score %.1f\n",
               timer.seconds(),

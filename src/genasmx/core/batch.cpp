@@ -1,31 +1,17 @@
 #include "genasmx/core/batch.hpp"
 
-#include "genasmx/util/thread_pool.hpp"
+#include "genasmx/engine/engine.hpp"
 
 namespace gx::core {
 
 std::vector<common::AlignmentResult> alignBatch(
     const std::vector<mapper::AlignmentPair>& pairs, const BatchConfig& cfg) {
-  cfg.window.validate();
-  std::vector<common::AlignmentResult> results(pairs.size());
-  util::ThreadPool pool(cfg.threads);
-  pool.parallel_for(pairs.size(), [&](std::size_t begin, std::size_t end) {
-    // One solver per chunk: scratch buffers amortize across the share.
-    if (cfg.baseline) {
-      genasm::BaselineWindowSolver<1> solver;
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = alignWindowed(solver, pairs[i].target, pairs[i].query,
-                                   cfg.window);
-      }
-    } else {
-      ImprovedWindowSolver<1> solver(cfg.options);
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = alignWindowed(solver, pairs[i].target, pairs[i].query,
-                                   cfg.window);
-      }
-    }
-  });
-  return results;
+  engine::EngineConfig ec;
+  ec.backend = cfg.baseline ? "windowed-baseline" : "windowed-improved";
+  ec.aligner.window = cfg.window;
+  ec.aligner.improved = cfg.options;
+  ec.threads = cfg.threads;
+  return engine::AlignmentEngine(ec).alignBatch(pairs);
 }
 
 }  // namespace gx::core

@@ -1,7 +1,10 @@
 #pragma once
 // Multi-threaded batch alignment — the embarrassingly-parallel outer loop
-// the paper runs with 48 CPU threads. Pairs are distributed over a thread
-// pool; each worker reuses one solver's scratch buffers across its share.
+// the paper runs with 48 CPU threads. Thin compatibility shim over
+// engine::AlignmentEngine (genasmx/engine/engine.hpp), which owns the
+// thread pool and per-worker solver scratch reuse; prefer the engine (or
+// the AlignerRegistry) directly in new code — it reaches every backend,
+// not just the two GenASM windowed solvers.
 
 #include <vector>
 

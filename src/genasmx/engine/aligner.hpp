@@ -1,0 +1,65 @@
+#pragma once
+// The unified aligner abstraction every consumer (tools, examples,
+// benches, the batch engine) programs against. Concrete solvers —
+// baseline/improved GenASM (global and windowed), Myers bit-vector,
+// KSW affine, and the reference DP oracles — are wrapped behind this
+// interface and selected by name through the AlignerRegistry
+// (genasmx/engine/registry.hpp).
+//
+// An Aligner instance owns its solver's scratch buffers, so one instance
+// per worker amortizes allocations across a batch share. Instances are
+// NOT thread-safe; create one per thread (AlignmentEngine does).
+
+#include <memory>
+#include <string_view>
+
+#include "genasmx/common/cigar.hpp"
+#include "genasmx/core/genasm_improved.hpp"
+#include "genasmx/core/windowed.hpp"
+#include "genasmx/ksw/ksw_affine.hpp"
+#include "genasmx/myers/myers.hpp"
+
+namespace gx::engine {
+
+/// Union of the knobs the registered backends understand. Each backend
+/// reads only its slice; defaults reproduce the paper's configuration.
+struct AlignerConfig {
+  /// GenASM windowed geometry (windowed-* backends).
+  core::WindowConfig window{};
+  /// The paper's three improvements (improved / windowed-improved).
+  core::ImprovedOptions improved{};
+  /// Per-problem level cap for the global GenASM backends; -1 selects
+  /// the always-solvable cap.
+  int max_edits = -1;
+  /// Myers banding (myers backend).
+  myers::MyersConfig myers{};
+  /// KSW affine scoring and band (ksw backend).
+  ksw::KswConfig ksw{};
+};
+
+/// Abstract pairwise aligner: target = reference text, query = read.
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+
+  /// Globally align query against target. result.ok == false means the
+  /// backend could not produce an alignment under its configuration.
+  [[nodiscard]] virtual common::AlignmentResult align(
+      std::string_view target, std::string_view query) = 0;
+
+  /// Edit cost only, no CIGAR. Backends with a cheaper distance-only
+  /// kernel (e.g. Myers without traceback) override this; the default
+  /// pays for the full alignment. Returns -1 when no alignment exists
+  /// under the backend's configuration.
+  [[nodiscard]] virtual int distance(std::string_view target,
+                                     std::string_view query) {
+    return align(target, query).edit_distance;
+  }
+
+  /// The registry name this instance was created under.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+using AlignerPtr = std::unique_ptr<Aligner>;
+
+}  // namespace gx::engine

@@ -1,0 +1,56 @@
+#include "genasmx/engine/engine.hpp"
+
+#include <utility>
+
+namespace gx::engine {
+
+AlignmentEngine::AlignmentEngine(EngineConfig cfg)
+    : cfg_(std::move(cfg)), pool_(cfg_.threads) {
+  // Constructing one aligner up front validates the backend name and its
+  // configuration eagerly; the instance seeds the spare pool rather than
+  // sitting idle.
+  spares_.push_back(makeAligner(cfg_.backend, cfg_.aligner));
+}
+
+common::AlignmentResult AlignmentEngine::align(std::string_view target,
+                                               std::string_view query) {
+  AlignerPtr aligner = acquireAligner();
+  common::AlignmentResult result = aligner->align(target, query);
+  releaseAligner(std::move(aligner));
+  return result;
+}
+
+AlignerPtr AlignmentEngine::acquireAligner() {
+  {
+    const std::lock_guard<std::mutex> lock(spares_mu_);
+    if (!spares_.empty()) {
+      AlignerPtr aligner = std::move(spares_.back());
+      spares_.pop_back();
+      return aligner;
+    }
+  }
+  return makeAligner(cfg_.backend, cfg_.aligner);
+}
+
+void AlignmentEngine::releaseAligner(AlignerPtr aligner) {
+  const std::lock_guard<std::mutex> lock(spares_mu_);
+  spares_.push_back(std::move(aligner));
+}
+
+std::vector<common::AlignmentResult> AlignmentEngine::alignBatch(
+    const std::vector<mapper::AlignmentPair>& pairs) {
+  std::vector<common::AlignmentResult> results(pairs.size());
+  pool_.parallel_for(pairs.size(), [&](std::size_t begin, std::size_t end) {
+    // One checked-out aligner per chunk: solver scratch amortizes across
+    // the chunk's share and, via the spare pool, across batches — the
+    // pool never holds more aligners than the peak chunk concurrency.
+    AlignerPtr aligner = acquireAligner();
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = aligner->align(pairs[i].target, pairs[i].query);
+    }
+    releaseAligner(std::move(aligner));
+  });
+  return results;
+}
+
+}  // namespace gx::engine

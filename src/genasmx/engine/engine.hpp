@@ -1,0 +1,67 @@
+#pragma once
+// AlignmentEngine — the batched execution layer between the mapper and
+// the solvers. Owns the thread pool, selects a backend by registry name,
+// and runs deterministic batched alignment over mapper::AlignmentPairs:
+// the embarrassingly-parallel outer loop the paper drives with 48 CPU
+// threads, generalized over every registered backend.
+//
+// Layer stack:  io -> mapper -> engine -> solvers (genasm / core /
+// myers / ksw / refdp). Consumers hold an engine (or a single Aligner
+// from the registry) and never name concrete solver entry points.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/engine/registry.hpp"
+#include "genasmx/mapper/mapper.hpp"
+#include "genasmx/util/thread_pool.hpp"
+
+namespace gx::engine {
+
+struct EngineConfig {
+  /// Registry name of the backend to run (see registry.hpp).
+  std::string backend = "windowed-improved";
+  AlignerConfig aligner{};
+  /// Worker threads; 0 selects hardware concurrency.
+  std::size_t threads = 0;
+};
+
+class AlignmentEngine {
+ public:
+  /// Throws std::invalid_argument for an unknown backend and propagates
+  /// the backend's own config validation (e.g. bad window geometry).
+  explicit AlignmentEngine(EngineConfig cfg = {});
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::string_view backend() const noexcept {
+    return cfg_.backend;
+  }
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+
+  /// Align one pair on the calling thread (checks an aligner out of the
+  /// engine's spare pool, so scratch is shared with alignBatch).
+  [[nodiscard]] common::AlignmentResult align(std::string_view target,
+                                              std::string_view query);
+
+  /// Align every pair; results[i] corresponds to pairs[i]. Deterministic:
+  /// identical to the sequential loop regardless of thread count.
+  [[nodiscard]] std::vector<common::AlignmentResult> alignBatch(
+      const std::vector<mapper::AlignmentPair>& pairs);
+
+ private:
+  /// Check an aligner out of the spare pool (constructing on a miss) and
+  /// return it afterwards, so solver scratch persists across alignBatch
+  /// calls instead of being rebuilt per chunk.
+  [[nodiscard]] AlignerPtr acquireAligner();
+  void releaseAligner(AlignerPtr aligner);
+
+  EngineConfig cfg_;
+  util::ThreadPool pool_;
+  std::mutex spares_mu_;
+  std::vector<AlignerPtr> spares_;
+};
+
+}  // namespace gx::engine

@@ -1,0 +1,245 @@
+#include "genasmx/engine/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "genasmx/bitvector/bitvector.hpp"
+#include "genasmx/genasm/genasm_baseline.hpp"
+#include "genasmx/refdp/affine_dp.hpp"
+#include "genasmx/refdp/edit_dp.hpp"
+
+namespace gx::engine {
+namespace {
+
+using common::AlignmentResult;
+
+// Query lengths the single-window global GenASM solvers can hold; longer
+// queries silently switch to the windowed driver with the same config.
+constexpr std::size_t kGlobalGenasmMax = bitvector::BitVec<8>::kBits;
+
+class GlobalBaselineAligner final : public Aligner {
+ public:
+  // Window geometry is validated up front: the >512 bp fallback would
+  // otherwise surface the validate() throw from a worker thread.
+  explicit GlobalBaselineAligner(const AlignerConfig& cfg) : cfg_(cfg) {
+    cfg_.window.validate();
+  }
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    if (q.size() <= kGlobalGenasmMax) {
+      return genasm::alignGlobalBaseline(t, q, cfg_.max_edits);
+    }
+    return core::alignWindowedBaseline(t, q, cfg_.window);
+  }
+  std::string_view name() const noexcept override { return "baseline"; }
+
+ private:
+  AlignerConfig cfg_;
+};
+
+class GlobalImprovedAligner final : public Aligner {
+ public:
+  explicit GlobalImprovedAligner(const AlignerConfig& cfg) : cfg_(cfg) {
+    cfg_.window.validate();
+  }
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    if (q.size() <= kGlobalGenasmMax) {
+      return core::alignGlobalImproved(t, q, cfg_.max_edits, cfg_.improved);
+    }
+    return core::alignWindowedImproved(t, q, cfg_.window, cfg_.improved);
+  }
+  std::string_view name() const noexcept override { return "improved"; }
+
+ private:
+  AlignerConfig cfg_;
+};
+
+template <int NW>
+class WindowedBaselineAligner final : public Aligner {
+ public:
+  explicit WindowedBaselineAligner(const AlignerConfig& cfg) : cfg_(cfg) {}
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    return core::alignWindowed(solver_, t, q, cfg_.window);
+  }
+  std::string_view name() const noexcept override {
+    return "windowed-baseline";
+  }
+
+ private:
+  AlignerConfig cfg_;
+  genasm::BaselineWindowSolver<NW> solver_;
+};
+
+template <int NW>
+class WindowedImprovedAligner final : public Aligner {
+ public:
+  explicit WindowedImprovedAligner(const AlignerConfig& cfg)
+      : cfg_(cfg), solver_(cfg.improved) {}
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    return core::alignWindowed(solver_, t, q, cfg_.window);
+  }
+  std::string_view name() const noexcept override {
+    return "windowed-improved";
+  }
+
+ private:
+  AlignerConfig cfg_;
+  core::ImprovedWindowSolver<NW> solver_;
+};
+
+// The solver bit-width is fixed by the window geometry at construction,
+// so the scratch buffers (DP rows, pattern masks) persist across align()
+// calls — this is the per-worker reuse AlignmentEngine relies on.
+template <template <int> class A>
+AlignerPtr makeWindowed(const AlignerConfig& cfg) {
+  cfg.window.validate();
+  switch (bitvector::wordsNeeded(cfg.window.window)) {
+    case 1: return std::make_unique<A<1>>(cfg);
+    case 2: return std::make_unique<A<2>>(cfg);
+    case 3: return std::make_unique<A<3>>(cfg);
+    case 4: return std::make_unique<A<4>>(cfg);
+    default: return std::make_unique<A<8>>(cfg);
+  }
+}
+
+class MyersBackend final : public Aligner {
+ public:
+  explicit MyersBackend(const AlignerConfig& cfg) : aligner_(cfg.myers) {}
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    return aligner_.align(t, q);
+  }
+  int distance(std::string_view t, std::string_view q) override {
+    return aligner_.distance(t, q);  // bit-parallel, no traceback storage
+  }
+  std::string_view name() const noexcept override { return "myers"; }
+
+ private:
+  myers::MyersAligner aligner_;
+};
+
+class KswBackend final : public Aligner {
+ public:
+  explicit KswBackend(const AlignerConfig& cfg) : aligner_(cfg.ksw) {}
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    return aligner_.align(t, q);
+  }
+  std::string_view name() const noexcept override { return "ksw"; }
+
+ private:
+  ksw::KswAligner aligner_;
+};
+
+class EditDpBackend final : public Aligner {
+ public:
+  explicit EditDpBackend(const AlignerConfig&) {}
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    return refdp::align(t, q);
+  }
+  int distance(std::string_view t, std::string_view q) override {
+    return refdp::editDistance(t, q);  // O(min(n,m)) space, no traceback
+  }
+  std::string_view name() const noexcept override { return "edit-dp"; }
+};
+
+class AffineDpBackend final : public Aligner {
+ public:
+  explicit AffineDpBackend(const AlignerConfig& cfg)
+      : params_(cfg.ksw.params) {}
+  AlignmentResult align(std::string_view t, std::string_view q) override {
+    return refdp::alignAffine(t, q, params_);
+  }
+  std::string_view name() const noexcept override { return "affine-dp"; }
+
+ private:
+  refdp::AffineParams params_;
+};
+
+}  // namespace
+
+AlignerRegistry::AlignerRegistry() {
+  add("baseline", "global unimproved GenASM (MICRO'20; windowed beyond 512 bp)",
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<GlobalBaselineAligner>(cfg);
+      });
+  add("improved", "global improved GenASM (windowed beyond 512 bp)",
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<GlobalImprovedAligner>(cfg);
+      });
+  add("windowed-baseline", "windowed unimproved GenASM (long reads)",
+      [](const AlignerConfig& cfg) {
+        return makeWindowed<WindowedBaselineAligner>(cfg);
+      });
+  add("windowed-improved",
+      "windowed improved GenASM — the paper's system (default)",
+      [](const AlignerConfig& cfg) {
+        return makeWindowed<WindowedImprovedAligner>(cfg);
+      });
+  add("myers", "Myers bit-parallel + band doubling (Edlib-class)",
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<MyersBackend>(cfg);
+      });
+  add("ksw", "banded affine-gap DP (KSW2-class, minimap2's base aligner)",
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<KswBackend>(cfg);
+      });
+  add("edit-dp", "O(n*m) unit-cost reference DP (oracle)",
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<EditDpBackend>(cfg);
+      });
+  add("affine-dp", "O(n*m) Gotoh affine reference DP (oracle)",
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<AffineDpBackend>(cfg);
+      });
+}
+
+AlignerRegistry& AlignerRegistry::instance() {
+  static AlignerRegistry registry;
+  return registry;
+}
+
+void AlignerRegistry::add(std::string name, std::string description,
+                          Factory factory) {
+  entries_[std::move(name)] =
+      Entry{std::move(description), std::move(factory)};
+}
+
+bool AlignerRegistry::contains(std::string_view name) const noexcept {
+  return entries_.find(name) != entries_.end();
+}
+
+AlignerPtr AlignerRegistry::create(std::string_view name,
+                                   const AlignerConfig& cfg) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string msg = "unknown aligner backend '";
+    msg += name;
+    msg += "'; registered:";
+    for (const auto& [key, entry] : entries_) {
+      (void)entry;
+      msg += ' ';
+      msg += key;
+    }
+    throw std::invalid_argument(msg);
+  }
+  return it->second.factory(cfg);
+}
+
+std::vector<std::string> AlignerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    (void)entry;
+    out.push_back(key);
+  }
+  return out;
+}
+
+std::string AlignerRegistry::description(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? std::string{} : it->second.description;
+}
+
+AlignerPtr makeAligner(std::string_view name, const AlignerConfig& cfg) {
+  return AlignerRegistry::instance().create(name, cfg);
+}
+
+}  // namespace gx::engine

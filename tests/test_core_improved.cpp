@@ -73,7 +73,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 8, 33, 64, 100, 200),
                        ::testing::Values(0, 1, 4, 12)),
     [](const auto& info) {
-      return "s" + std::to_string(std::get<0>(info.param)) + "_len" +
+      return std::string("s") + std::to_string(std::get<0>(info.param)) + "_len" +
              std::to_string(std::get<1>(info.param)) + "_e" +
              std::to_string(std::get<2>(info.param));
     });

@@ -1,0 +1,228 @@
+// Engine layer: registry lookup semantics, backend-vs-oracle agreement,
+// and deterministic batched execution (1 thread == N threads).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/common/verify.hpp"
+#include "genasmx/engine/engine.hpp"
+#include "genasmx/refdp/affine_dp.hpp"
+#include "genasmx/refdp/edit_dp.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(AlignerRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)engine::makeAligner("no-such-backend"),
+               std::invalid_argument);
+  engine::EngineConfig cfg;
+  cfg.backend = "bogus";
+  EXPECT_THROW(engine::AlignmentEngine{cfg}, std::invalid_argument);
+}
+
+TEST(AlignerRegistry, UnknownNameMessageListsBackends) {
+  try {
+    (void)engine::makeAligner("no-such-backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-backend"), std::string::npos);
+    EXPECT_NE(msg.find("windowed-improved"), std::string::npos);
+  }
+}
+
+TEST(AlignerRegistry, RegistersAllDocumentedBackends) {
+  auto& registry = engine::AlignerRegistry::instance();
+  for (const char* name :
+       {"baseline", "improved", "windowed-baseline", "windowed-improved",
+        "myers", "ksw", "edit-dp", "affine-dp"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.description(name).empty()) << name;
+    const auto aligner = registry.create(name);
+    ASSERT_NE(aligner, nullptr) << name;
+    EXPECT_EQ(aligner->name(), name);
+  }
+  EXPECT_FALSE(registry.contains("definitely-not-registered"));
+  EXPECT_GE(registry.names().size(), 8u);
+}
+
+TEST(AlignerRegistry, InvalidWindowGeometryPropagates) {
+  engine::AlignerConfig cfg;
+  cfg.window.window = 64;
+  cfg.window.overlap = 64;  // overlap must be < window
+  // The global GenASM backends validate too: they fall back to the
+  // windowed driver beyond 512 bp, and the throw must happen at
+  // construction, not later on a worker thread.
+  for (const char* name : {"windowed-improved", "windowed-baseline",
+                           "improved", "baseline"}) {
+    EXPECT_THROW((void)engine::makeAligner(name, cfg), std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(AlignerRegistry, ExternalBackendsCanRegister) {
+  // New backends (GPU dispatch, remote shards, ...) plug in by name.
+  class Delegating final : public engine::Aligner {
+   public:
+    Delegating() : inner_(engine::makeAligner("edit-dp")) {}
+    common::AlignmentResult align(std::string_view t,
+                                  std::string_view q) override {
+      return inner_->align(t, q);
+    }
+    std::string_view name() const noexcept override { return "test-stub"; }
+
+   private:
+    engine::AlignerPtr inner_;
+  };
+  engine::AlignerRegistry::instance().add(
+      "test-stub", "unit-test delegating backend",
+      [](const engine::AlignerConfig&) -> engine::AlignerPtr {
+        return std::make_unique<Delegating>();
+      });
+  const auto aligner = engine::makeAligner("test-stub");
+  EXPECT_EQ(aligner->align("ACGT", "AGGT").edit_distance, 1);
+}
+
+// --------------------------------------------- backend-vs-oracle parity
+
+// Every exact backend reproduces refdp::editDistance on random pairs and
+// emits a CIGAR that verifies at that cost. The affine backends run with
+// the unit-cost-equivalent parameters so -score ties to edit distance.
+class ExactBackendOracle : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExactBackendOracle, MatchesReferenceDpOnRandomPairs) {
+  engine::AlignerConfig cfg;
+  cfg.ksw.params = refdp::AffineParams::editDistanceEquivalent();
+  const auto aligner = engine::makeAligner(GetParam(), cfg);
+  util::Xoshiro256 rng(4242);
+  for (int t = 0; t < 12; ++t) {
+    const auto a = common::randomSequence(rng, 20 + rng.below(240));
+    const auto b = common::mutateSequence(rng, a, rng.below(25));
+    const int oracle = refdp::editDistance(a, b);
+    const auto res = aligner->align(a, b);
+    ASSERT_TRUE(res.ok) << GetParam() << " trial " << t;
+    const auto v = common::verifyAlignment(a, b, res.cigar);
+    ASSERT_TRUE(v.valid) << GetParam() << ": " << v.error;
+    EXPECT_EQ(static_cast<int>(res.cigar.editDistance()), oracle)
+        << GetParam() << " trial " << t;
+    // The distance-only fast path (overridden or defaulted) agrees.
+    EXPECT_EQ(aligner->distance(a, b),
+              static_cast<int>(res.cigar.editDistance()))
+        << GetParam() << " trial " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ExactBackendOracle,
+                         ::testing::Values("baseline", "improved", "myers",
+                                           "ksw", "edit-dp", "affine-dp"));
+
+// The windowed backends are heuristic: never better than the oracle,
+// always valid, and near-exact on read-like pairs.
+class WindowedBackendOracle : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WindowedBackendOracle, ValidAndNearOptimalOnReadLikePairs) {
+  const auto aligner = engine::makeAligner(GetParam());
+  util::Xoshiro256 rng(99);
+  for (int t = 0; t < 6; ++t) {
+    const auto a = common::randomSequence(rng, 600 + rng.below(600));
+    const auto b = common::mutateSequence(rng, a, 40 + rng.below(40));
+    const int oracle = refdp::editDistance(a, b);
+    const auto res = aligner->align(a, b);
+    ASSERT_TRUE(res.ok) << GetParam() << " trial " << t;
+    const auto v = common::verifyAlignment(a, b, res.cigar);
+    ASSERT_TRUE(v.valid) << GetParam() << ": " << v.error;
+    EXPECT_GE(res.edit_distance, oracle);
+    EXPECT_LE(res.edit_distance, oracle + 10) << GetParam() << " trial " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, WindowedBackendOracle,
+                         ::testing::Values("windowed-baseline",
+                                           "windowed-improved"));
+
+// ----------------------------------------------------- batched execution
+
+std::vector<mapper::AlignmentPair> makePairs(std::size_t count) {
+  util::Xoshiro256 rng(7);
+  std::vector<mapper::AlignmentPair> pairs;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Mixed short/long so both the global and windowed paths execute.
+    const std::size_t len = i % 3 == 0 ? 150 + rng.below(100)
+                                       : 600 + rng.below(700);
+    mapper::AlignmentPair p;
+    p.target = common::randomSequence(rng, len);
+    p.query = common::mutateSequence(
+        rng, p.target, static_cast<std::size_t>(len / 20) + rng.below(10));
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+void expectSameResults(const std::vector<common::AlignmentResult>& a,
+                       const std::vector<common::AlignmentResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ok, b[i].ok) << i;
+    EXPECT_EQ(a[i].edit_distance, b[i].edit_distance) << i;
+    EXPECT_EQ(a[i].score, b[i].score) << i;
+    EXPECT_EQ(a[i].cigar, b[i].cigar) << i;
+  }
+}
+
+TEST(AlignmentEngine, BatchIsDeterministicAcrossThreadCounts) {
+  const auto pairs = makePairs(36);
+  engine::EngineConfig one;
+  one.threads = 1;
+  engine::EngineConfig four;
+  four.threads = 4;
+  engine::EngineConfig eight;
+  eight.threads = 8;
+  const auto r1 = engine::AlignmentEngine(one).alignBatch(pairs);
+  const auto r4 = engine::AlignmentEngine(four).alignBatch(pairs);
+  const auto r8 = engine::AlignmentEngine(eight).alignBatch(pairs);
+  expectSameResults(r1, r4);
+  expectSameResults(r1, r8);
+}
+
+TEST(AlignmentEngine, BatchMatchesSequentialAlignForEveryBackend) {
+  const auto pairs = makePairs(9);
+  for (const auto& name : engine::AlignerRegistry::instance().names()) {
+    engine::EngineConfig cfg;
+    cfg.backend = name;
+    cfg.threads = 3;
+    engine::AlignmentEngine eng(cfg);
+    const auto batch = eng.alignBatch(pairs);
+    ASSERT_EQ(batch.size(), pairs.size());
+    std::vector<common::AlignmentResult> sequential;
+    sequential.reserve(pairs.size());
+    const auto aligner = engine::makeAligner(name);
+    for (const auto& p : pairs) {
+      sequential.push_back(aligner->align(p.target, p.query));
+    }
+    expectSameResults(batch, sequential);
+  }
+}
+
+TEST(AlignmentEngine, EmptyBatchAndAccessors) {
+  engine::EngineConfig cfg;
+  cfg.backend = "windowed-improved";
+  cfg.threads = 2;
+  engine::AlignmentEngine eng(cfg);
+  EXPECT_TRUE(eng.alignBatch({}).empty());
+  EXPECT_EQ(eng.backend(), "windowed-improved");
+  EXPECT_EQ(eng.threads(), 2u);
+  const auto res = eng.align("ACGTACGT", "ACGTTCGT");
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.edit_distance, 1);
+}
+
+}  // namespace
+}  // namespace gx

@@ -60,7 +60,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, KswFullSweep,
                                             ::testing::Values(1, 10, 40, 100,
                                                               250)),
                          [](const auto& info) {
-                           return "s" + std::to_string(std::get<0>(info.param)) +
+                           return std::string("s") + std::to_string(std::get<0>(info.param)) +
                                   "_len" +
                                   std::to_string(std::get<1>(info.param));
                          });

@@ -66,8 +66,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          200, 500),
                        ::testing::Values(0, 1, 5, 20)),
     [](const auto& info) {
-      return "s" + std::to_string(std::get<0>(info.param)) + "_len" +
-             std::to_string(std::get<1>(info.param)) + "_e" +
+      // Built left-to-right from a std::string: the const char* +
+      // std::string&& overload trips GCC 12's -Wrestrict (PR105651).
+      return std::string("s") + std::to_string(std::get<0>(info.param)) +
+             "_len" + std::to_string(std::get<1>(info.param)) + "_e" +
              std::to_string(std::get<2>(info.param));
     });
 

@@ -1,29 +1,34 @@
-// genasmx_align — command-line long/short read aligner built on the
-// improved GenASM algorithm.
+// genasmx_align — command-line long/short read aligner over the unified
+// AlignmentEngine; any registered backend is selectable by name.
 //
 //   genasmx_align <reference.fa> <reads.fa|fq> [options] > out.paf
 //
 // Options:
-//   --aligner=improved|baseline|edlib|ksw   (default improved)
-//   --threads=N            worker threads (improved/baseline only; 0=auto)
+//   --backend=NAME         alignment backend (default windowed-improved);
+//                          see --list-backends for the registry contents
+//   --list-backends        print registered backends and exit
+//   --threads=N            worker threads (0=auto)
 //   --max-candidates=N     candidates aligned per read (default 4)
-//   --window=W --overlap=O window geometry (GenASM aligners)
+//   --window=W --overlap=O window geometry (GenASM backends)
 //   --all                  emit every candidate (default: best only)
+//
+// --aligner=NAME is kept as a deprecated alias of --backend; the legacy
+// names map onto registry names (improved -> windowed-improved,
+// baseline -> windowed-baseline, edlib -> myers).
 //
 // Output: PAF with cg:Z: CIGAR tags.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <iostream>
 #include <string>
 
-#include "genasmx/core/batch.hpp"
+#include "genasmx/engine/engine.hpp"
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/io/paf.hpp"
-#include "genasmx/ksw/ksw_affine.hpp"
 #include "genasmx/mapper/mapper.hpp"
-#include "genasmx/myers/myers.hpp"
 #include "genasmx/util/timer.hpp"
 
 namespace {
@@ -31,13 +36,26 @@ namespace {
 struct Options {
   std::string reference_path;
   std::string reads_path;
-  std::string aligner = "improved";
+  std::string backend = "windowed-improved";
   std::size_t threads = 0;
   std::size_t max_candidates = 4;
   int window = 64;
   int overlap = 24;
   bool all = false;
+  bool list_backends = false;
 };
+
+std::string canonicalBackend(std::string name) {
+  if (name == "edlib") return "myers";
+  return name;
+}
+
+/// Legacy --aligner names predate the windowed/global split.
+std::string legacyBackend(std::string name) {
+  if (name == "improved") return "windowed-improved";
+  if (name == "baseline") return "windowed-baseline";
+  return canonicalBackend(std::move(name));
+}
 
 bool parseArgs(int argc, char** argv, Options& opt) {
   std::size_t positional = 0;
@@ -47,11 +65,21 @@ bool parseArgs(int argc, char** argv, Options& opt) {
       const std::size_t n = std::strlen(key);
       return arg.rfind(key, 0) == 0 ? arg.c_str() + n : nullptr;
     };
-    if (const char* v = val("--aligner=")) opt.aligner = v;
-    else if (const char* v2 = val("--threads=")) opt.threads = std::strtoull(v2, nullptr, 10);
-    else if (const char* v3 = val("--max-candidates=")) opt.max_candidates = std::strtoull(v3, nullptr, 10);
-    else if (const char* v4 = val("--window=")) opt.window = std::atoi(v4);
-    else if (const char* v5 = val("--overlap=")) opt.overlap = std::atoi(v5);
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (const char* v = val("--backend=")) opt.backend = canonicalBackend(v);
+    else if (arg == "--backend") {
+      const char* v2 = next();
+      if (!v2) return false;
+      opt.backend = canonicalBackend(v2);
+    }
+    else if (const char* va = val("--aligner=")) opt.backend = legacyBackend(va);
+    else if (arg == "--list-backends") opt.list_backends = true;
+    else if (const char* vt = val("--threads=")) opt.threads = std::strtoull(vt, nullptr, 10);
+    else if (const char* vc = val("--max-candidates=")) opt.max_candidates = std::strtoull(vc, nullptr, 10);
+    else if (const char* vw = val("--window=")) opt.window = std::atoi(vw);
+    else if (const char* vo = val("--overlap=")) opt.overlap = std::atoi(vo);
     else if (arg == "--all") opt.all = true;
     else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -66,7 +94,7 @@ bool parseArgs(int argc, char** argv, Options& opt) {
       return false;
     }
   }
-  return positional == 2;
+  return opt.list_backends || positional == 2;
 }
 
 }  // namespace
@@ -77,13 +105,35 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: genasmx_align <reference.fa> <reads.fa|fq> "
-                 "[--aligner=improved|baseline|edlib|ksw] [--threads=N] "
+                 "[--backend=NAME] [--list-backends] [--threads=N] "
                  "[--max-candidates=N] [--window=W] [--overlap=O] [--all]\n");
+    return 2;
+  }
+  auto& registry = engine::AlignerRegistry::instance();
+  if (opt.list_backends) {
+    for (const auto& name : registry.names()) {
+      std::printf("%-20s %s\n", name.c_str(),
+                  registry.description(name).c_str());
+    }
+    return 0;
+  }
+  // Fail fast on a backend typo, before any reference I/O or indexing.
+  if (!registry.contains(opt.backend)) {
+    std::fprintf(stderr,
+                 "error: unknown backend '%s' (see --list-backends)\n",
+                 opt.backend.c_str());
     return 2;
   }
 
   util::Timer timer;
-  const auto ref_records = io::readFastxFile(opt.reference_path);
+  std::vector<io::FastxRecord> ref_records, reads;
+  try {
+    ref_records = io::readFastxFile(opt.reference_path);
+    reads = io::readFastxFile(opt.reads_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   if (ref_records.empty()) {
     std::fprintf(stderr, "error: empty reference %s\n",
                  opt.reference_path.c_str());
@@ -96,7 +146,6 @@ int main(int argc, char** argv) {
     contigs.emplace_back(genome.size(), rec.name);
     genome += rec.seq;
   }
-  const auto reads = io::readFastxFile(opt.reads_path);
   std::fprintf(stderr, "[%.2fs] reference %zu bp (%zu contigs), %zu reads\n",
                timer.seconds(), genome.size(), contigs.size(), reads.size());
 
@@ -104,15 +153,19 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[%.2fs] index built (%zu minimizers)\n",
                timer.seconds(), mapper.index().size());
 
-  core::BatchConfig batch;
-  batch.threads = opt.threads;
-  batch.window.window = opt.window;
-  batch.window.overlap = opt.overlap;
-  batch.baseline = opt.aligner == "baseline";
-  const bool use_genasm =
-      opt.aligner == "improved" || opt.aligner == "baseline";
-  myers::MyersAligner edlib_class;
-  ksw::KswAligner ksw_class(ksw::KswConfig{{}, 751});
+  engine::EngineConfig ec;
+  ec.backend = opt.backend;
+  ec.threads = opt.threads;
+  ec.aligner.window.window = opt.window;
+  ec.aligner.window.overlap = opt.overlap;
+  ec.aligner.ksw.band = 751;  // minimap2's long-read bandwidth regime
+  std::unique_ptr<engine::AlignmentEngine> eng;
+  try {
+    eng = std::make_unique<engine::AlignmentEngine>(ec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   std::size_t emitted = 0;
   for (const auto& read : reads) {
@@ -129,16 +182,7 @@ int main(int argc, char** argv) {
                     : read.seq;
       pairs.push_back(std::move(p));
     }
-    std::vector<common::AlignmentResult> results;
-    if (use_genasm) {
-      results = core::alignBatch(pairs, batch);
-    } else {
-      for (const auto& p : pairs) {
-        results.push_back(opt.aligner == "edlib"
-                              ? edlib_class.align(p.target, p.query)
-                              : ksw_class.align(p.target, p.query));
-      }
-    }
+    const auto results = eng->alignBatch(pairs);
     for (std::size_t c = 0; c < results.size(); ++c) {
       if (!results[c].ok) continue;
       const auto& cand = candidates[c];
@@ -159,7 +203,7 @@ int main(int argc, char** argv) {
       ++emitted;
     }
   }
-  std::fprintf(stderr, "[%.2fs] wrote %zu alignments (%s aligner)\n",
-               timer.seconds(), emitted, opt.aligner.c_str());
+  std::fprintf(stderr, "[%.2fs] wrote %zu alignments (%s backend)\n",
+               timer.seconds(), emitted, opt.backend.c_str());
   return 0;
 }

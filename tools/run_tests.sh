@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Convenience wrapper for the tier-1 verify: configure, build, ctest.
+#
+#   tools/run_tests.sh [build-dir]
+#
+# Extra CMake arguments go through GENASMX_CMAKE_ARGS, e.g.
+#   GENASMX_CMAKE_ARGS="-G Ninja -DGENASMX_WERROR=ON" tools/run_tests.sh
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+# shellcheck disable=SC2086  # GENASMX_CMAKE_ARGS is intentionally split
+cmake -B "${build_dir}" -S "${repo_root}" ${GENASMX_CMAKE_ARGS:-}
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
