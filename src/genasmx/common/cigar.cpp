@@ -100,4 +100,27 @@ Cigar Cigar::parse(std::string_view text) {
   return out;
 }
 
+CigarTrim trimIndelEnds(const Cigar& cigar) {
+  const auto& units = cigar.units();
+  std::size_t lo = 0;
+  std::size_t hi = units.size();
+  CigarTrim out;
+  auto is_indel = [](EditOp op) {
+    return op == EditOp::Insertion || op == EditOp::Deletion;
+  };
+  for (; lo < hi && is_indel(units[lo].op); ++lo) {
+    (units[lo].op == EditOp::Insertion ? out.query_lead : out.target_lead) +=
+        units[lo].len;
+  }
+  for (; hi > lo && is_indel(units[hi - 1].op); --hi) {
+    (units[hi - 1].op == EditOp::Insertion ? out.query_trail
+                                           : out.target_trail) +=
+        units[hi - 1].len;
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    out.cigar.push(units[i].op, units[i].len);
+  }
+  return out;
+}
+
 }  // namespace gx::common

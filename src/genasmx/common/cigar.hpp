@@ -86,6 +86,22 @@ class Cigar {
   std::vector<CigarUnit> units_;
 };
 
+/// A cigar with its flanking indel runs stripped, plus how many query /
+/// target characters each stripped flank consumed. Mapping pipelines use
+/// this to turn a window-global alignment (which pays the candidate
+/// window's slack as boundary indels) into tight PAF coordinates.
+struct CigarTrim {
+  Cigar cigar;
+  std::uint64_t query_lead = 0;    ///< query chars in the leading trim
+  std::uint64_t query_trail = 0;   ///< query chars in the trailing trim
+  std::uint64_t target_lead = 0;   ///< target chars in the leading trim
+  std::uint64_t target_trail = 0;  ///< target chars in the trailing trim
+};
+
+/// Strip leading and trailing insertion/deletion runs so the alignment
+/// starts and ends on a match/mismatch column.
+[[nodiscard]] CigarTrim trimIndelEnds(const Cigar& cigar);
+
 /// A finished pairwise alignment.
 struct AlignmentResult {
   bool ok = false;         ///< false => no alignment within the threshold

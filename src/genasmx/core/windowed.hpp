@@ -70,6 +70,14 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
   std::size_t ti = 0;
   std::size_t qi = 0;
 
+  // Window text/pattern reversal buffers, reused across windows so a
+  // long read costs two allocations total instead of two per window
+  // (this loop is the mapping pipeline's hot path).
+  std::string t_rev, q_rev;
+  const auto reverseInto = [](std::string& dst, std::string_view src) {
+    dst.assign(src.rbegin(), src.rend());
+  };
+
   while (true) {
     const std::size_t rem_t = target.size() - ti;
     const std::size_t rem_q = query.size() - qi;
@@ -97,9 +105,8 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
       const std::size_t tw_len =
           std::min(rem_t, rem_q + static_cast<std::size_t>(
                                       cfg.textWindow() - cfg.window));
-      const std::string t_rev =
-          common::reversed(target.substr(ti, tw_len));
-      const std::string q_rev = common::reversed(query.substr(qi, rem_q));
+      reverseInto(t_rev, target.substr(ti, tw_len));
+      reverseInto(q_rev, query.substr(qi, rem_q));
       genasm::WindowSpec spec;
       spec.anchor = genasm::Anchor::StartOnly;
       spec.max_edits = cfg.max_edits;
@@ -117,8 +124,8 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
     // Mid-read window.
     const std::size_t tw_len =
         std::min(rem_t, static_cast<std::size_t>(cfg.textWindow()));
-    const std::string t_rev = common::reversed(target.substr(ti, tw_len));
-    const std::string q_rev = common::reversed(query.substr(qi, W));
+    reverseInto(t_rev, target.substr(ti, tw_len));
+    reverseInto(q_rev, query.substr(qi, W));
     genasm::WindowSpec spec;
     spec.anchor = genasm::Anchor::StartOnly;
     spec.max_edits = cfg.max_edits;

@@ -38,19 +38,27 @@ void AlignmentEngine::releaseAligner(AlignerPtr aligner) {
 }
 
 std::vector<common::AlignmentResult> AlignmentEngine::alignBatch(
-    const std::vector<mapper::AlignmentPair>& pairs) {
-  std::vector<common::AlignmentResult> results(pairs.size());
-  pool_.parallel_for(pairs.size(), [&](std::size_t begin, std::size_t end) {
+    const std::vector<AlignmentTask>& tasks) {
+  std::vector<common::AlignmentResult> results(tasks.size());
+  pool_.parallel_for(tasks.size(), [&](std::size_t begin, std::size_t end) {
     // One checked-out aligner per chunk: solver scratch amortizes across
     // the chunk's share and, via the spare pool, across batches — the
     // pool never holds more aligners than the peak chunk concurrency.
     AlignerPtr aligner = acquireAligner();
     for (std::size_t i = begin; i < end; ++i) {
-      results[i] = aligner->align(pairs[i].target, pairs[i].query);
+      results[i] = aligner->align(tasks[i].target, tasks[i].query);
     }
     releaseAligner(std::move(aligner));
   });
   return results;
+}
+
+std::vector<common::AlignmentResult> AlignmentEngine::alignBatch(
+    const std::vector<mapper::AlignmentPair>& pairs) {
+  std::vector<AlignmentTask> tasks;
+  tasks.reserve(pairs.size());
+  for (const auto& p : pairs) tasks.push_back({p.target, p.query});
+  return alignBatch(tasks);
 }
 
 }  // namespace gx::engine

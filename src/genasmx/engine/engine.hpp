@@ -21,6 +21,15 @@
 
 namespace gx::engine {
 
+/// A non-owning alignment problem: views into storage the caller keeps
+/// alive for the duration of the batch. The mapping pipeline aligns
+/// candidate windows as views into the reference genome, so a batch
+/// never copies reference text.
+struct AlignmentTask {
+  std::string_view target;  ///< reference window
+  std::string_view query;   ///< read, oriented to the mapping strand
+};
+
 struct EngineConfig {
   /// Registry name of the backend to run (see registry.hpp).
   std::string backend = "windowed-improved";
@@ -46,10 +55,20 @@ class AlignmentEngine {
   [[nodiscard]] common::AlignmentResult align(std::string_view target,
                                               std::string_view query);
 
-  /// Align every pair; results[i] corresponds to pairs[i]. Deterministic:
-  /// identical to the sequential loop regardless of thread count.
+  /// Align every task; results[i] corresponds to tasks[i]. Deterministic:
+  /// identical to the sequential loop regardless of thread count. The
+  /// viewed storage must outlive the call.
+  [[nodiscard]] std::vector<common::AlignmentResult> alignBatch(
+      const std::vector<AlignmentTask>& tasks);
+
+  /// Owning-pair convenience overload (same semantics).
   [[nodiscard]] std::vector<common::AlignmentResult> alignBatch(
       const std::vector<mapper::AlignmentPair>& pairs);
+
+  /// The engine's worker pool, for callers (e.g. pipeline::MappingPipeline)
+  /// that parallelize their own pre/post-processing around alignBatch()
+  /// without spinning up a second competing pool.
+  [[nodiscard]] util::ThreadPool& pool() noexcept { return pool_; }
 
  private:
   /// Check an aligner out of the spare pool (constructing on a miss) and

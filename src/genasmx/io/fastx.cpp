@@ -22,47 +22,75 @@ void splitHeader(std::string_view line, FastxRecord& rec) {
 
 }  // namespace
 
-std::vector<FastxRecord> readFastx(std::istream& in) {
-  std::vector<FastxRecord> records;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line[0] == '>') {
-      FastxRecord rec;
-      splitHeader(std::string_view(line).substr(1), rec);
-      // Sequence lines until the next header or EOF.
-      while (in.peek() != '>' && in.peek() != '@' && in.peek() != EOF) {
-        std::string seq_line;
-        if (!std::getline(in, seq_line)) break;
-        if (!seq_line.empty() && seq_line.back() == '\r') seq_line.pop_back();
-        rec.seq += seq_line;
-      }
-      records.push_back(std::move(rec));
-    } else if (line[0] == '@') {
-      FastxRecord rec;
-      splitHeader(std::string_view(line).substr(1), rec);
-      if (!std::getline(in, rec.seq)) {
-        throw std::runtime_error("fastx: truncated FASTQ record " + rec.name);
-      }
-      std::string plus;
-      if (!std::getline(in, plus) || plus.empty() || plus[0] != '+') {
-        throw std::runtime_error("fastx: missing '+' line in " + rec.name);
-      }
-      if (!std::getline(in, rec.qual)) {
-        throw std::runtime_error("fastx: missing quality line in " + rec.name);
-      }
-      if (!rec.seq.empty() && rec.seq.back() == '\r') rec.seq.pop_back();
-      if (!rec.qual.empty() && rec.qual.back() == '\r') rec.qual.pop_back();
-      if (rec.qual.size() != rec.seq.size()) {
-        throw std::runtime_error("fastx: quality/sequence length mismatch in " +
-                                 rec.name);
-      }
-      records.push_back(std::move(rec));
-    } else {
-      throw std::runtime_error("fastx: unexpected line: " + line);
-    }
+bool FastxReader::nextLine(std::string& line) {
+  if (have_pending_) {
+    line = std::move(pending_);
+    have_pending_ = false;
+    return true;
   }
+  if (!std::getline(in_, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+bool FastxReader::next(FastxRecord& rec) {
+  rec = FastxRecord{};
+  std::string line;
+  // Skip blank separator lines between records.
+  do {
+    if (!nextLine(line)) return false;
+  } while (line.empty());
+
+  if (line[0] == '>') {
+    splitHeader(std::string_view(line).substr(1), rec);
+    // Sequence lines until the next record header or EOF. A header line
+    // becomes the lookahead for the following next() call.
+    std::string seq_line;
+    while (nextLine(seq_line)) {
+      if (!seq_line.empty() && (seq_line[0] == '>' || seq_line[0] == '@')) {
+        pending_ = std::move(seq_line);
+        have_pending_ = true;
+        break;
+      }
+      rec.seq += seq_line;
+    }
+    return true;
+  }
+  if (line[0] == '@') {
+    splitHeader(std::string_view(line).substr(1), rec);
+    if (!nextLine(rec.seq)) {
+      throw std::runtime_error("fastx: truncated FASTQ record " + rec.name);
+    }
+    std::string plus;
+    if (!nextLine(plus) || plus.empty() || plus[0] != '+') {
+      throw std::runtime_error("fastx: missing '+' line in " + rec.name);
+    }
+    if (!nextLine(rec.qual)) {
+      throw std::runtime_error("fastx: missing quality line in " + rec.name);
+    }
+    if (rec.qual.size() != rec.seq.size()) {
+      throw std::runtime_error("fastx: quality/sequence length mismatch in " +
+                               rec.name);
+    }
+    return true;
+  }
+  throw std::runtime_error("fastx: unexpected line: " + line);
+}
+
+std::vector<FastxRecord> FastxReader::nextBatch(std::size_t max_records) {
+  std::vector<FastxRecord> records;
+  FastxRecord rec;
+  while (records.size() < max_records && next(rec)) {
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<FastxRecord> readFastx(std::istream& in) {
+  FastxReader reader(in);
+  std::vector<FastxRecord> records;
+  FastxRecord rec;
+  while (reader.next(rec)) records.push_back(std::move(rec));
   return records;
 }
 

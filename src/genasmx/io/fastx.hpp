@@ -17,6 +17,30 @@ struct FastxRecord {
   std::string qual;  ///< empty for FASTA
 };
 
+/// Incremental FASTA/FASTQ parser: pulls one record (or one batch) at a
+/// time so pipelines can stream arbitrarily large read sets at bounded
+/// memory. Auto-detects FASTA vs FASTQ per record; throws
+/// std::runtime_error on malformed input.
+class FastxReader {
+ public:
+  /// The stream must outlive the reader.
+  explicit FastxReader(std::istream& in) : in_(in) {}
+
+  /// Parse the next record into `rec` (contents replaced). Returns false
+  /// at end of input.
+  bool next(FastxRecord& rec);
+
+  /// Parse up to `max_records` records; an empty result means EOF.
+  [[nodiscard]] std::vector<FastxRecord> nextBatch(std::size_t max_records);
+
+ private:
+  bool nextLine(std::string& line);
+
+  std::istream& in_;
+  std::string pending_;  ///< lookahead line (the next record's header)
+  bool have_pending_ = false;
+};
+
 /// Parse all records from a stream; auto-detects FASTA vs FASTQ per
 /// record. Throws std::runtime_error on malformed input.
 [[nodiscard]] std::vector<FastxRecord> readFastx(std::istream& in);

@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace gx::io {
 
@@ -11,6 +12,12 @@ void finalizeFromCigar(PafRecord& rec) {
 }
 
 std::string toPafLine(const PafRecord& rec) {
+  if (rec.matches > rec.alignment_len) {
+    throw std::invalid_argument(
+        "paf: record '" + rec.query_name + "' has matches (" +
+        std::to_string(rec.matches) + ") > alignment_len (" +
+        std::to_string(rec.alignment_len) + ")");
+  }
   std::ostringstream os;
   os << rec.query_name << '\t' << rec.query_len << '\t' << rec.query_begin
      << '\t' << rec.query_end << '\t' << (rec.reverse ? '-' : '+') << '\t'
@@ -25,6 +32,28 @@ std::string toPafLine(const PafRecord& rec) {
 
 void writePaf(std::ostream& out, const PafRecord& rec) {
   out << toPafLine(rec) << '\n';
+}
+
+PafWriter::PafWriter(std::ostream& out, std::size_t flush_threshold)
+    : out_(out), flush_threshold_(flush_threshold) {
+  buf_.reserve(flush_threshold_);
+}
+
+PafWriter::~PafWriter() { flush(); }
+
+void PafWriter::write(const PafRecord& rec) {
+  buf_ += toPafLine(rec);
+  buf_ += '\n';
+  ++written_;
+  if (buf_.size() >= flush_threshold_) flush();
+}
+
+void PafWriter::flush() {
+  if (!buf_.empty()) {
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+  out_.flush();
 }
 
 }  // namespace gx::io

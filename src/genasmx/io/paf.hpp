@@ -28,9 +28,37 @@ struct PafRecord {
 /// Build the aggregate fields (matches, alignment_len) from the cigar.
 void finalizeFromCigar(PafRecord& rec);
 
-/// Serialize one record as a PAF line (no trailing newline).
+/// Serialize one record as a PAF line (no trailing newline). Throws
+/// std::invalid_argument for an inconsistent record (matches >
+/// alignment_len) — a malformed line must never reach the output.
 [[nodiscard]] std::string toPafLine(const PafRecord& rec);
 
 void writePaf(std::ostream& out, const PafRecord& rec);
+
+/// Batched PAF writer: serializes records into an internal buffer and
+/// flushes it to the stream in large writes, so per-record ostream
+/// overhead stays off the pipeline's emission path. Records appear in
+/// write() order; flush happens at the threshold, on flush(), and on
+/// destruction.
+class PafWriter {
+ public:
+  explicit PafWriter(std::ostream& out, std::size_t flush_threshold = 1 << 20);
+  ~PafWriter();
+
+  PafWriter(const PafWriter&) = delete;
+  PafWriter& operator=(const PafWriter&) = delete;
+
+  void write(const PafRecord& rec);
+  void flush();
+
+  /// Records accepted so far.
+  [[nodiscard]] std::size_t written() const noexcept { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::string buf_;
+  std::size_t flush_threshold_;
+  std::size_t written_ = 0;
+};
 
 }  // namespace gx::io

@@ -40,6 +40,8 @@ std::vector<Candidate> Mapper::map(std::string_view read) const {
       cand.reverse = reverse;
       cand.score = c.score;
       cand.anchors = c.anchors;
+      cand.read_begin = c.read_begin;
+      cand.read_end = std::min<std::size_t>(c.read_end, read.size());
       // Extend the chain's reference span by the unchained read flanks
       // plus a fixed margin, clamped to the genome.
       const std::size_t left_flank = c.read_begin + cfg_.margin;

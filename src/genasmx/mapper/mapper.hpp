@@ -30,6 +30,12 @@ struct MapperConfig {
 struct Candidate {
   std::size_t ref_begin = 0;  ///< candidate reference window [begin, end)
   std::size_t ref_end = 0;
+  /// Chain's query span [begin, end) in *oriented-read* coordinates: for
+  /// reverse candidates these index into reverseComplement(read), i.e.
+  /// the query string the aligner actually consumes. PAF emission flips
+  /// them back to forward-read coordinates.
+  std::size_t read_begin = 0;
+  std::size_t read_end = 0;
   bool reverse = false;  ///< read maps to the reverse strand
   double score = 0;
   int anchors = 0;

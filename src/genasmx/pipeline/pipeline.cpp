@@ -1,0 +1,209 @@
+#include "genasmx/pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <utility>
+
+#include "genasmx/common/sequence.hpp"
+
+namespace gx::pipeline {
+namespace {
+
+/// Per-read working state for one batch. Slots are written only by the
+/// worker that owns the read, so the parallel fan-out stays race-free
+/// and thread-count independent.
+struct ReadWork {
+  std::vector<mapper::Candidate> cands;
+  std::string rc;  ///< reverse complement, filled iff a candidate needs it
+};
+
+/// minimap2-style confidence from best (s1) vs second-best (s2)
+/// alignment quality: full cap when the runner-up is far behind, 0 when
+/// the top two candidates are indistinguishable.
+int computeMapq(std::uint64_t s1, std::uint64_t s2, int cap) {
+  if (s1 == 0 || s2 >= s1) return 0;
+  const double frac =
+      1.0 - static_cast<double>(s2) / static_cast<double>(s1);
+  const int mapq = static_cast<int>(std::lround(cap * frac));
+  return std::clamp(mapq, 0, cap);
+}
+
+PipelineStats operator-(const PipelineStats& a, const PipelineStats& b) {
+  PipelineStats d;
+  d.reads = a.reads - b.reads;
+  d.mapped_reads = a.mapped_reads - b.mapped_reads;
+  d.unmapped_reads = a.unmapped_reads - b.unmapped_reads;
+  d.candidates = a.candidates - b.candidates;
+  d.records = a.records - b.records;
+  return d;
+}
+
+}  // namespace
+
+MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
+                                 PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      target_name_(std::move(target_name)),
+      mapper_(std::move(genome), cfg_.mapper),
+      engine_(cfg_.engine) {}
+
+std::vector<io::PafRecord> MappingPipeline::mapBatch(
+    const std::vector<io::FastxRecord>& reads) {
+  const std::string& genome = mapper_.genome();
+  const auto genome_view = std::string_view(genome);
+
+  // Stage 1 — candidate generation, fanned out on the engine's pool.
+  std::vector<ReadWork> work(reads.size());
+  engine_.pool().parallel_for(
+      reads.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto cands = mapper_.map(reads[i].seq);
+          if (cands.size() > cfg_.max_candidates) {
+            cands.resize(cfg_.max_candidates);
+          }
+          const bool any_reverse =
+              std::any_of(cands.begin(), cands.end(),
+                          [](const mapper::Candidate& c) { return c.reverse; });
+          if (any_reverse) {
+            work[i].rc = common::reverseComplement(reads[i].seq);
+          }
+          work[i].cands = std::move(cands);
+        }
+      });
+
+  // Stage 2 — flatten every read's candidates into one engine batch.
+  // Targets are views into the genome, queries views into the read (or
+  // its cached reverse complement): no window text is copied.
+  std::vector<std::size_t> offset(reads.size() + 1, 0);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    offset[i + 1] = offset[i] + work[i].cands.size();
+  }
+  std::vector<engine::AlignmentTask> tasks;
+  tasks.reserve(offset.back());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    for (const auto& c : work[i].cands) {
+      tasks.push_back(
+          {genome_view.substr(c.ref_begin, c.ref_end - c.ref_begin),
+           c.reverse ? std::string_view(work[i].rc)
+                     : std::string_view(reads[i].seq)});
+    }
+  }
+  const auto results = engine_.alignBatch(tasks);
+
+  // Stage 3 — fold results back per read, pick the primary, score MAPQ,
+  // and emit (serial, so output order is input order).
+  std::vector<io::PafRecord> out;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const auto& read = reads[i];
+    const auto& cands = work[i].cands;
+    ++stats_.reads;
+    if (cands.empty()) {
+      ++stats_.unmapped_reads;
+      continue;
+    }
+    stats_.candidates += cands.size();
+
+    auto baseRecord = [&](const mapper::Candidate& cand) {
+      io::PafRecord rec;
+      rec.query_name = read.name;
+      rec.query_len = read.seq.size();
+      rec.reverse = cand.reverse;
+      rec.target_name = target_name_;
+      rec.target_len = genome.size();
+      return rec;
+    };
+    // Oriented query span -> forward-read PAF coordinates.
+    auto setQuerySpan = [&](io::PafRecord& rec, std::size_t qb,
+                            std::size_t qe) {
+      rec.query_begin = rec.reverse ? read.seq.size() - qe : qb;
+      rec.query_end = rec.reverse ? read.seq.size() - qb : qe;
+    };
+
+    struct Scored {
+      std::size_t cand;
+      const common::AlignmentResult* res;
+      std::uint64_t matches;
+      std::uint64_t edits;
+    };
+    std::vector<Scored> scored;
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      const auto& res = results[offset[i] + c];
+      if (!res.ok) continue;
+      scored.push_back({c, &res, res.cigar.count(common::EditOp::Match),
+                        res.cigar.editDistance()});
+    }
+
+    if (scored.empty()) {
+      // Every candidate failed to align: report the best chain so the
+      // locus is not silently dropped — CIGAR-less (no cg:Z:), mapq 0.
+      io::PafRecord rec = baseRecord(cands[0]);
+      setQuerySpan(rec, cands[0].read_begin, cands[0].read_end);
+      rec.target_begin = cands[0].ref_begin;
+      rec.target_end = cands[0].ref_end;
+      rec.mapq = 0;
+      out.push_back(std::move(rec));
+      ++stats_.mapped_reads;
+      ++stats_.records;
+      continue;
+    }
+
+    // Primary = most matches; ties to fewer edits, then chain order.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < scored.size(); ++k) {
+      if (scored[k].matches > scored[best].matches ||
+          (scored[k].matches == scored[best].matches &&
+           scored[k].edits < scored[best].edits)) {
+        best = k;
+      }
+    }
+    std::uint64_t second = 0;
+    for (std::size_t k = 0; k < scored.size(); ++k) {
+      if (k != best) second = std::max(second, scored[k].matches);
+    }
+    const int primary_mapq =
+        computeMapq(scored[best].matches, second, cfg_.mapq_cap);
+
+    auto emitAligned = [&](const Scored& s, int mapq) {
+      const auto& cand = cands[s.cand];
+      io::PafRecord rec = baseRecord(cand);
+      // A window-global alignment pays the candidate window's slack as
+      // boundary indels; trim them so the PAF span is the aligned core.
+      auto trim = common::trimIndelEnds(s.res->cigar);
+      rec.cigar = std::move(trim.cigar);
+      const std::size_t qb = trim.query_lead;
+      setQuerySpan(rec, qb, qb + rec.cigar.queryLength());
+      rec.target_begin = cand.ref_begin + trim.target_lead;
+      rec.target_end = rec.target_begin + rec.cigar.targetLength();
+      rec.mapq = mapq;
+      io::finalizeFromCigar(rec);
+      out.push_back(std::move(rec));
+      ++stats_.records;
+    };
+
+    emitAligned(scored[best], primary_mapq);
+    if (cfg_.emit_secondary) {
+      for (std::size_t k = 0; k < scored.size(); ++k) {
+        if (k != best) emitAligned(scored[k], 0);
+      }
+    }
+    ++stats_.mapped_reads;
+  }
+  return out;
+}
+
+PipelineStats MappingPipeline::run(std::istream& reads_in,
+                                   io::PafWriter& out) {
+  const PipelineStats before = stats_;
+  const std::size_t batch_reads = cfg_.batch_reads ? cfg_.batch_reads : 256;
+  io::FastxReader reader(reads_in);
+  while (true) {
+    const auto batch = reader.nextBatch(batch_reads);
+    if (batch.empty()) break;
+    for (const auto& rec : mapBatch(batch)) out.write(rec);
+  }
+  out.flush();
+  return stats_ - before;
+}
+
+}  // namespace gx::pipeline

@@ -1,0 +1,88 @@
+#pragma once
+// MappingPipeline — the paper's end-to-end read-mapping system: FASTQ
+// reads stream in batches through candidate generation (minimizer
+// seeding + chaining on both strands), windowed GenASM alignment of each
+// read's best-N candidates via the AlignmentEngine (any registered
+// backend), MAPQ estimation from best-vs-second-best alignment quality,
+// and PAF emission with cg:Z: CIGARs.
+//
+// Layer stack: io -> pipeline -> mapper + engine -> solvers. The
+// pipeline owns the candidate→read fan-out: it flattens every candidate
+// of every read in a batch into one engine batch (reference windows are
+// passed as views into the genome, never copied), then folds the results
+// back per read. Output is deterministic — byte-identical PAF for any
+// thread count.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genasmx/engine/engine.hpp"
+#include "genasmx/io/fastx.hpp"
+#include "genasmx/io/paf.hpp"
+#include "genasmx/mapper/mapper.hpp"
+
+namespace gx::pipeline {
+
+struct PipelineConfig {
+  engine::EngineConfig engine{};  ///< backend, threads, aligner knobs
+  mapper::MapperConfig mapper{};  ///< seeding/chaining knobs
+  /// Best-N candidate windows aligned per read (the paper aligns every
+  /// kept chain; capping bounds worst-case repeat blowup).
+  std::size_t max_candidates = 4;
+  /// Reads mapped + aligned per streaming batch.
+  std::size_t batch_reads = 256;
+  /// Emit non-primary alignments (mapq 0) in addition to the primary.
+  bool emit_secondary = true;
+  /// MAPQ ceiling (minimap2 convention).
+  int mapq_cap = 60;
+};
+
+struct PipelineStats {
+  std::size_t reads = 0;           ///< reads seen
+  std::size_t mapped_reads = 0;    ///< reads with >= 1 emitted record
+  std::size_t unmapped_reads = 0;  ///< reads with no candidate
+  std::size_t candidates = 0;      ///< candidate windows dispatched
+  std::size_t records = 0;         ///< PAF records emitted
+};
+
+class MappingPipeline {
+ public:
+  /// Indexes `genome` (throws what Mapper/AlignmentEngine construction
+  /// throws, e.g. std::invalid_argument for an unknown backend).
+  /// `target_name` is the PAF target-name column.
+  MappingPipeline(std::string target_name, std::string genome,
+                  PipelineConfig cfg = {});
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const mapper::Mapper& mapper() const noexcept {
+    return mapper_;
+  }
+  [[nodiscard]] engine::AlignmentEngine& engine() noexcept { return engine_; }
+
+  /// Map one batch of reads. Records are grouped by read in input order,
+  /// primary record first within each read; deterministic for any thread
+  /// count. Reads whose best candidates all fail to align still emit one
+  /// CIGAR-less record from the best chain (mapq 0, no cg:Z: tag); reads
+  /// with no candidate emit nothing.
+  [[nodiscard]] std::vector<io::PafRecord> mapBatch(
+      const std::vector<io::FastxRecord>& reads);
+
+  /// Stream `reads_in` (FASTA/FASTQ) through mapBatch() in
+  /// config().batch_reads chunks, writing PAF to `out`. Returns the
+  /// aggregate statistics of this run.
+  PipelineStats run(std::istream& reads_in, io::PafWriter& out);
+
+  /// Statistics accumulated across every mapBatch()/run() call.
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+
+ private:
+  PipelineConfig cfg_;
+  std::string target_name_;
+  mapper::Mapper mapper_;
+  engine::AlignmentEngine engine_;
+  PipelineStats stats_;
+};
+
+}  // namespace gx::pipeline

@@ -142,6 +142,32 @@ TEST(Cigar, AppendMergesAcrossBoundary) {
   EXPECT_EQ(a.str(), "5=1X");
 }
 
+TEST(Cigar, TrimIndelEndsStripsFlankingRuns) {
+  const auto trim = trimIndelEnds(Cigar::parse("3D2I10=1D5=4I2D"));
+  EXPECT_EQ(trim.cigar.str(), "10=1D5=");
+  EXPECT_EQ(trim.target_lead, 3u);
+  EXPECT_EQ(trim.query_lead, 2u);
+  EXPECT_EQ(trim.query_trail, 4u);
+  EXPECT_EQ(trim.target_trail, 2u);
+}
+
+TEST(Cigar, TrimIndelEndsKeepsInteriorAndMismatchFlanks) {
+  // Mismatches are consuming columns: nothing to trim.
+  const auto trim = trimIndelEnds(Cigar::parse("1X3=2I3=1X"));
+  EXPECT_EQ(trim.cigar.str(), "1X3=2I3=1X");
+  EXPECT_EQ(trim.query_lead + trim.query_trail + trim.target_lead +
+                trim.target_trail,
+            0u);
+}
+
+TEST(Cigar, TrimIndelEndsAllIndelCigar) {
+  const auto trim = trimIndelEnds(Cigar::parse("5D3I"));
+  EXPECT_TRUE(trim.cigar.empty());
+  EXPECT_EQ(trim.target_lead, 5u);
+  EXPECT_EQ(trim.query_lead, 3u);
+  EXPECT_TRUE(trimIndelEnds(Cigar{}).cigar.empty());
+}
+
 // ------------------------------------------------------------------ verify
 
 TEST(Verify, AcceptsCorrectAlignment) {

@@ -211,12 +211,24 @@ TEST(AlignmentEngine, BatchMatchesSequentialAlignForEveryBackend) {
   }
 }
 
+TEST(AlignmentEngine, ViewBatchMatchesOwningBatch) {
+  const auto pairs = makePairs(12);
+  std::vector<engine::AlignmentTask> tasks;
+  tasks.reserve(pairs.size());
+  for (const auto& p : pairs) tasks.push_back({p.target, p.query});
+  engine::EngineConfig cfg;
+  cfg.threads = 4;
+  engine::AlignmentEngine eng(cfg);
+  expectSameResults(eng.alignBatch(tasks), eng.alignBatch(pairs));
+}
+
 TEST(AlignmentEngine, EmptyBatchAndAccessors) {
   engine::EngineConfig cfg;
   cfg.backend = "windowed-improved";
   cfg.threads = 2;
   engine::AlignmentEngine eng(cfg);
-  EXPECT_TRUE(eng.alignBatch({}).empty());
+  EXPECT_TRUE(eng.alignBatch(std::vector<mapper::AlignmentPair>{}).empty());
+  EXPECT_TRUE(eng.alignBatch(std::vector<engine::AlignmentTask>{}).empty());
   EXPECT_EQ(eng.backend(), "windowed-improved");
   EXPECT_EQ(eng.threads(), 2u);
   const auto res = eng.align("ACGTACGT", "ACGTTCGT");

@@ -114,5 +114,132 @@ TEST(Paf, WriteAppendsNewline) {
   EXPECT_EQ(out.str().back(), '\n');
 }
 
+TEST(Paf, RejectsMatchesExceedingAlignmentLen) {
+  PafRecord rec;
+  rec.query_name = std::string("r");
+  rec.target_name = std::string("t");
+  rec.matches = 10;
+  rec.alignment_len = 9;  // inconsistent: must never be serialized
+  EXPECT_THROW((void)toPafLine(rec), std::invalid_argument);
+  std::ostringstream out;
+  EXPECT_THROW(writePaf(out, rec), std::invalid_argument);
+  rec.alignment_len = 10;
+  EXPECT_NO_THROW((void)toPafLine(rec));
+}
+
+TEST(Paf, FinalizeFromCigarIsAlwaysConsistent) {
+  PafRecord rec;
+  rec.query_name = std::string("r");
+  rec.target_name = std::string("t");
+  rec.cigar = common::Cigar::parse("10=2X3I1D7=");
+  finalizeFromCigar(rec);
+  EXPECT_LE(rec.matches, rec.alignment_len);
+  EXPECT_EQ(rec.matches, 17u);
+  EXPECT_EQ(rec.alignment_len, 23u);
+  EXPECT_NO_THROW((void)toPafLine(rec));
+}
+
+TEST(Paf, EmptyCigarFinalizesToZerosAndOmitsTag) {
+  PafRecord rec;
+  rec.query_name = std::string("r");
+  rec.target_name = std::string("t");
+  rec.matches = 42;  // stale aggregates must be reset, not serialized
+  rec.alignment_len = 7;
+  finalizeFromCigar(rec);
+  EXPECT_EQ(rec.matches, 0u);
+  EXPECT_EQ(rec.alignment_len, 0u);
+  const auto line = toPafLine(rec);
+  EXPECT_EQ(line.find("cg:Z:"), std::string::npos);
+}
+
+// --------------------------------------------------------------- PafWriter
+
+PafRecord sampleRecord(int i) {
+  PafRecord rec;
+  rec.query_name = "q" + std::to_string(i);
+  rec.query_len = 100;
+  rec.query_end = 100;
+  rec.target_name = std::string("t");
+  rec.target_len = 1'000;
+  rec.target_begin = static_cast<std::size_t>(i);
+  rec.target_end = static_cast<std::size_t>(i) + 100;
+  rec.cigar = common::Cigar::parse("100=");
+  finalizeFromCigar(rec);
+  return rec;
+}
+
+TEST(PafWriter, MatchesUnbufferedOutput) {
+  std::ostringstream buffered, direct;
+  {
+    PafWriter writer(buffered);
+    for (int i = 0; i < 50; ++i) {
+      writer.write(sampleRecord(i));
+      writePaf(direct, sampleRecord(i));
+    }
+    EXPECT_EQ(writer.written(), 50u);
+  }  // destructor flushes
+  EXPECT_EQ(buffered.str(), direct.str());
+}
+
+TEST(PafWriter, FlushThresholdPreservesOrderAndContent) {
+  std::ostringstream small_buf, big_buf;
+  {
+    PafWriter a(small_buf, 64);  // forces many intermediate flushes
+    PafWriter b(big_buf, 1 << 20);
+    for (int i = 0; i < 200; ++i) {
+      a.write(sampleRecord(i));
+      b.write(sampleRecord(i));
+    }
+  }
+  EXPECT_EQ(small_buf.str(), big_buf.str());
+}
+
+// ------------------------------------------------------------- FastxReader
+
+TEST(FastxReader, StreamsSameRecordsAsBulkRead) {
+  const std::string text =
+      ">a c1\nACGT\nACGT\n@q1\nACGTACGT\n+\nIIIIIIII\n>b\nTTTT\n@q2 c\nGG\n+\n##\n";
+  std::istringstream bulk_in(text);
+  const auto bulk = readFastx(bulk_in);
+  std::istringstream stream_in(text);
+  FastxReader reader(stream_in);
+  std::vector<FastxRecord> streamed;
+  FastxRecord rec;
+  while (reader.next(rec)) streamed.push_back(rec);
+  ASSERT_EQ(streamed.size(), bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(streamed[i].name, bulk[i].name) << i;
+    EXPECT_EQ(streamed[i].comment, bulk[i].comment) << i;
+    EXPECT_EQ(streamed[i].seq, bulk[i].seq) << i;
+    EXPECT_EQ(streamed[i].qual, bulk[i].qual) << i;
+  }
+}
+
+TEST(FastxReader, NextBatchHonorsLimitAndDrains) {
+  std::string text;
+  for (int i = 0; i < 10; ++i) {
+    text += "@r" + std::to_string(i) + "\nACGT\n+\nIIII\n";
+  }
+  std::istringstream in(text);
+  FastxReader reader(in);
+  const auto b1 = reader.nextBatch(4);
+  ASSERT_EQ(b1.size(), 4u);
+  EXPECT_EQ(b1[0].name, "r0");
+  const auto b2 = reader.nextBatch(4);
+  ASSERT_EQ(b2.size(), 4u);
+  EXPECT_EQ(b2[0].name, "r4");
+  const auto b3 = reader.nextBatch(4);
+  ASSERT_EQ(b3.size(), 2u);  // tail batch
+  EXPECT_EQ(b3[1].name, "r9");
+  EXPECT_TRUE(reader.nextBatch(4).empty());  // EOF
+}
+
+TEST(FastxReader, PropagatesMalformedInput) {
+  std::istringstream bad("@q\nACGT\nIIII\n");  // missing '+'
+  FastxReader reader(bad);
+  FastxRecord rec;
+  EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace gx::io

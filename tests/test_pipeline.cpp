@@ -1,0 +1,198 @@
+// Pipeline layer: end-to-end simulated-genome round-trip, deterministic
+// PAF output across thread counts, reverse-strand correctness, and PAF
+// well-formedness of every emitted record.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "genasmx/io/fastx.hpp"
+#include "genasmx/io/paf.hpp"
+#include "genasmx/pipeline/pipeline.hpp"
+#include "genasmx/readsim/genome.hpp"
+#include "genasmx/readsim/read_simulator.hpp"
+
+namespace gx::pipeline {
+namespace {
+
+std::string testGenome(std::size_t len = 250'000, std::uint64_t seed = 11) {
+  readsim::GenomeConfig cfg;
+  cfg.length = len;
+  cfg.seed = seed;
+  cfg.repeat_fraction = 0.05;
+  return readsim::generateGenome(cfg);
+}
+
+std::vector<io::FastxRecord> toFastx(
+    const std::vector<readsim::SimulatedRead>& reads) {
+  std::vector<io::FastxRecord> out;
+  out.reserve(reads.size());
+  for (const auto& r : reads) {
+    io::FastxRecord rec;
+    rec.name = r.name;
+    rec.seq = r.seq;
+    rec.qual.assign(r.seq.size(), 'I');
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+/// First (= primary) record of each read, keyed by query name.
+std::map<std::string, io::PafRecord> primaries(
+    const std::vector<io::PafRecord>& records) {
+  std::map<std::string, io::PafRecord> out;
+  for (const auto& rec : records) {
+    out.emplace(rec.query_name, rec);  // emplace keeps the first
+  }
+  return out;
+}
+
+TEST(MappingPipeline, RoundTripRecoversTrueOrigins) {
+  const auto genome = testGenome();
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(60, 2'500);
+  rcfg.seed = 3;
+  const auto reads = readsim::simulateReads(genome, rcfg);
+  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  const auto records = pipe.mapBatch(toFastx(reads));
+  const auto primary = primaries(records);
+
+  int recovered = 0;
+  for (const auto& r : reads) {
+    const auto it = primary.find(r.name);
+    if (it == primary.end()) continue;
+    const auto& rec = it->second;
+    const bool overlaps = rec.target_begin < r.origin_pos + r.origin_len &&
+                          r.origin_pos < rec.target_end;
+    if (overlaps && rec.reverse == r.reverse_strand) ++recovered;
+  }
+  // >= 95% of simulated reads map back to their true origin.
+  EXPECT_GE(recovered * 100, static_cast<int>(reads.size()) * 95)
+      << recovered << " of " << reads.size();
+  EXPECT_EQ(pipe.stats().reads, reads.size());
+  EXPECT_EQ(pipe.stats().mapped_reads + pipe.stats().unmapped_reads,
+            reads.size());
+}
+
+TEST(MappingPipeline, PafIsByteIdenticalAcrossThreadCounts) {
+  const auto genome = testGenome(180'000, 21);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(30, 1'800);
+  rcfg.seed = 9;
+  const auto fastx = toFastx(readsim::simulateReads(genome, rcfg));
+  std::ostringstream fq;
+  io::writeFastx(fq, fastx);
+
+  auto run_with_threads = [&](std::size_t threads) {
+    PipelineConfig cfg;
+    cfg.engine.threads = threads;
+    cfg.batch_reads = 7;  // several batches, boundaries thread-independent
+    MappingPipeline pipe("ref", std::string(genome), cfg);
+    std::istringstream in(fq.str());
+    std::ostringstream out;
+    io::PafWriter writer(out);
+    const auto stats = pipe.run(in, writer);
+    EXPECT_EQ(stats.reads, fastx.size());
+    return out.str();
+  };
+  const std::string paf1 = run_with_threads(1);
+  EXPECT_FALSE(paf1.empty());
+  EXPECT_EQ(paf1, run_with_threads(4));
+  EXPECT_EQ(paf1, run_with_threads(8));
+}
+
+TEST(MappingPipeline, ReverseStrandReadsMapBackCorrectly) {
+  const auto genome = testGenome(200'000, 31);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(30, 2'000);
+  rcfg.seed = 17;  // both_strands defaults to true
+  const auto reads = readsim::simulateReads(genome, rcfg);
+  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  const auto primary = primaries(pipe.mapBatch(toFastx(reads)));
+
+  int reverse_reads = 0, reverse_recovered = 0;
+  for (const auto& r : reads) {
+    if (!r.reverse_strand) continue;
+    ++reverse_reads;
+    const auto it = primary.find(r.name);
+    if (it == primary.end()) continue;
+    const auto& rec = it->second;
+    const bool overlaps = rec.target_begin < r.origin_pos + r.origin_len &&
+                          r.origin_pos < rec.target_end;
+    if (rec.reverse && overlaps) ++reverse_recovered;
+  }
+  ASSERT_GT(reverse_reads, 5);  // the simulation must exercise '-' reads
+  EXPECT_GE(reverse_recovered * 100, reverse_reads * 95)
+      << reverse_recovered << " of " << reverse_reads;
+}
+
+TEST(MappingPipeline, EveryRecordIsWellFormed) {
+  const auto genome = testGenome(150'000, 41);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(25, 1'500);
+  rcfg.seed = 23;
+  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  const auto records =
+      pipe.mapBatch(toFastx(readsim::simulateReads(genome, rcfg)));
+  ASSERT_FALSE(records.empty());
+  for (const auto& rec : records) {
+    EXPECT_LE(rec.query_begin, rec.query_end) << rec.query_name;
+    EXPECT_LE(rec.query_end, rec.query_len) << rec.query_name;
+    EXPECT_LE(rec.target_begin, rec.target_end) << rec.query_name;
+    EXPECT_LE(rec.target_end, rec.target_len) << rec.query_name;
+    EXPECT_LE(rec.matches, rec.alignment_len) << rec.query_name;
+    EXPECT_GE(rec.mapq, 0) << rec.query_name;
+    EXPECT_LE(rec.mapq, 60) << rec.query_name;
+    if (!rec.cigar.empty()) {
+      // Coordinates are exactly what the cg:Z: CIGAR consumes.
+      EXPECT_EQ(rec.cigar.queryLength(), rec.query_end - rec.query_begin)
+          << rec.query_name;
+      EXPECT_EQ(rec.cigar.targetLength(), rec.target_end - rec.target_begin)
+          << rec.query_name;
+    }
+    const auto line = toPafLine(rec);  // must not throw
+    const auto tabs = std::count(line.begin(), line.end(), '\t');
+    EXPECT_GE(tabs, 11) << line;  // 12 mandatory fields
+  }
+}
+
+TEST(MappingPipeline, PrimaryOnlyEmitsAtMostOneRecordPerRead) {
+  const auto genome = testGenome(150'000, 51);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(20, 1'500);
+  rcfg.seed = 29;
+  const auto fastx = toFastx(readsim::simulateReads(genome, rcfg));
+  PipelineConfig cfg;
+  cfg.emit_secondary = false;
+  MappingPipeline pipe("ref", std::string(genome), cfg);
+  const auto records = pipe.mapBatch(fastx);
+  std::map<std::string, int> per_read;
+  for (const auto& rec : records) ++per_read[rec.query_name];
+  for (const auto& [name, count] : per_read) {
+    EXPECT_EQ(count, 1) << name;
+  }
+  EXPECT_EQ(records.size(), pipe.stats().mapped_reads);
+}
+
+TEST(MappingPipeline, UnknownBackendThrows) {
+  PipelineConfig cfg;
+  cfg.engine.backend = "no-such-backend";
+  EXPECT_THROW(MappingPipeline("ref", testGenome(50'000), cfg),
+               std::invalid_argument);
+}
+
+TEST(MappingPipeline, EmptyBatchAndJunkReads) {
+  const auto genome = testGenome(100'000, 61);
+  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  EXPECT_TRUE(pipe.mapBatch({}).empty());
+  // A read with no minimizer hits maps nowhere and emits nothing.
+  io::FastxRecord junk;
+  junk.name = "junk";
+  junk.seq = std::string(500, 'A');
+  const auto records = pipe.mapBatch({junk});
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(pipe.stats().unmapped_reads, 1u);
+}
+
+}  // namespace
+}  // namespace gx::pipeline

@@ -1,0 +1,224 @@
+// genasmx_map — the paper's end-to-end read mapper: minimizer
+// seeding/chaining candidates feeding windowed GenASM (or any registered
+// backend) through the batched MappingPipeline, emitting PAF with cg:Z:
+// CIGARs. Output is byte-identical for any --threads value.
+//
+//   genasmx_map <reference.fa> <reads.fa|fq> [options]
+//
+// Options (--opt VALUE and --opt=VALUE are both accepted):
+//   --backend NAME         alignment backend (default windowed-improved);
+//                          see --list-backends
+//   --threads N            worker threads (0=auto)
+//   --max-candidates N     candidate windows aligned per read (default 4)
+//   --batch N              reads per streaming batch (default 256)
+//   --window W --overlap O window geometry (GenASM backends)
+//   --paf FILE             write PAF to FILE instead of stdout
+//   --primary-only         suppress secondary (mapq 0) records
+//   --list-backends        print registered backends and exit
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "genasmx/engine/registry.hpp"
+#include "genasmx/io/fastx.hpp"
+#include "genasmx/io/paf.hpp"
+#include "genasmx/pipeline/pipeline.hpp"
+#include "genasmx/util/timer.hpp"
+
+namespace {
+
+struct Options {
+  std::string reference_path;
+  std::string reads_path;
+  std::string paf_path;  ///< empty = stdout
+  std::string backend = "windowed-improved";
+  std::size_t threads = 0;
+  std::size_t max_candidates = 4;
+  std::size_t batch = 256;
+  int window = 64;
+  int overlap = 24;
+  bool primary_only = false;
+  bool list_backends = false;
+};
+
+/// Strict non-negative integer parse: rejects signs, trailing junk, and
+/// out-of-range values, so typos fail at the usage line instead of deep
+/// inside the pipeline.
+bool parseCount(const char* s, std::size_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parseCount(const char* s, int& out) {
+  std::size_t v = 0;
+  if (!parseCount(s, v) || v > 1'000'000) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parseArgs(int argc, char** argv, Options& opt) {
+  std::size_t positional = 0;
+  bool missing_value = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept "--opt VALUE" (next argv, unless it is another option) and
+    // "--opt=VALUE". A matched key with no usable value is an error.
+    auto value_of = [&](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      if (arg.compare(0, n, key) != 0) return nullptr;
+      if (arg.size() > n && arg[n] == '=') return arg.c_str() + n + 1;
+      if (arg.size() == n) {
+        if (i + 1 < argc && argv[i + 1][0] != '-') return argv[++i];
+        std::fprintf(stderr, "option %s requires a value\n", key);
+        missing_value = true;
+      }
+      return nullptr;
+    };
+    auto bad_value = [&](const char* key, const char* v) {
+      std::fprintf(stderr, "option %s: invalid value '%s'\n", key, v);
+      return false;
+    };
+    if (const char* v = value_of("--backend")) opt.backend = v;
+    else if (const char* v = value_of("--threads")) {
+      if (!parseCount(v, opt.threads)) return bad_value("--threads", v);
+    } else if (const char* v = value_of("--max-candidates")) {
+      if (!parseCount(v, opt.max_candidates)) return bad_value("--max-candidates", v);
+    } else if (const char* v = value_of("--batch")) {
+      if (!parseCount(v, opt.batch)) return bad_value("--batch", v);
+    } else if (const char* v = value_of("--window")) {
+      if (!parseCount(v, opt.window)) return bad_value("--window", v);
+    } else if (const char* v = value_of("--overlap")) {
+      if (!parseCount(v, opt.overlap)) return bad_value("--overlap", v);
+    } else if (const char* v = value_of("--paf")) opt.paf_path = v;
+    else if (missing_value) return false;
+    else if (arg == "--primary-only") opt.primary_only = true;
+    else if (arg == "--list-backends") opt.list_backends = true;
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else if (positional == 0) {
+      opt.reference_path = arg;
+      ++positional;
+    } else if (positional == 1) {
+      opt.reads_path = arg;
+      ++positional;
+    } else {
+      return false;
+    }
+  }
+  return opt.list_backends || positional == 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gx;
+  Options opt;
+  if (!parseArgs(argc, argv, opt)) {
+    std::fprintf(
+        stderr,
+        "usage: genasmx_map <reference.fa> <reads.fa|fq> [--backend NAME] "
+        "[--threads N] [--max-candidates N] [--batch N] [--window W] "
+        "[--overlap O] [--paf FILE] [--primary-only] [--list-backends]\n");
+    return 2;
+  }
+  auto& registry = engine::AlignerRegistry::instance();
+  if (opt.list_backends) {
+    for (const auto& name : registry.names()) {
+      std::printf("%-20s %s\n", name.c_str(),
+                  registry.description(name).c_str());
+    }
+    return 0;
+  }
+  if (!registry.contains(opt.backend)) {
+    std::fprintf(stderr, "error: unknown backend '%s' (see --list-backends)\n",
+                 opt.backend.c_str());
+    return 2;
+  }
+
+  util::Timer timer;
+  std::vector<io::FastxRecord> ref_records;
+  try {
+    ref_records = io::readFastxFile(opt.reference_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (ref_records.empty()) {
+    std::fprintf(stderr, "error: empty reference %s\n",
+                 opt.reference_path.c_str());
+    return 1;
+  }
+  // Concatenate contigs into one mapping target (multi-contig references
+  // report against the merged coordinate space, like genasmx_align).
+  std::string genome;
+  for (const auto& rec : ref_records) genome += rec.seq;
+  const std::string target_name =
+      ref_records.size() == 1 ? ref_records[0].name : "merged";
+  std::fprintf(stderr, "[%.2fs] reference %zu bp (%zu contigs)\n",
+               timer.seconds(), genome.size(), ref_records.size());
+
+  pipeline::PipelineConfig cfg;
+  cfg.engine.backend = opt.backend;
+  cfg.engine.threads = opt.threads;
+  cfg.engine.aligner.window.window = opt.window;
+  cfg.engine.aligner.window.overlap = opt.overlap;
+  cfg.engine.aligner.ksw.band = 751;  // minimap2's long-read band regime
+  cfg.max_candidates = opt.max_candidates;
+  cfg.batch_reads = opt.batch;
+  cfg.emit_secondary = !opt.primary_only;
+
+  std::unique_ptr<pipeline::MappingPipeline> pipe;
+  try {
+    pipe = std::make_unique<pipeline::MappingPipeline>(
+        target_name, std::move(genome), cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "[%.2fs] index built (%zu minimizers), %s backend, %zu threads\n",
+               timer.seconds(), pipe->mapper().index().size(),
+               opt.backend.c_str(), pipe->engine().threads());
+
+  std::ifstream reads_in(opt.reads_path);
+  if (!reads_in) {
+    std::fprintf(stderr, "error: cannot open %s\n", opt.reads_path.c_str());
+    return 1;
+  }
+  std::ofstream paf_file;
+  if (!opt.paf_path.empty()) {
+    paf_file.open(opt.paf_path);
+    if (!paf_file) {
+      std::fprintf(stderr, "error: cannot open %s\n", opt.paf_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& paf_out = opt.paf_path.empty() ? std::cout : paf_file;
+
+  pipeline::PipelineStats stats;
+  try {
+    io::PafWriter writer(paf_out);
+    stats = pipe->run(reads_in, writer);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[%.2fs] %zu reads: %zu mapped, %zu unmapped; %zu candidates "
+               "aligned, %zu PAF records\n",
+               timer.seconds(), stats.reads, stats.mapped_reads,
+               stats.unmapped_reads, stats.candidates, stats.records);
+  return 0;
+}

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Convenience wrapper for the tier-1 verify: configure, build, ctest.
 #
-#   tools/run_tests.sh [build-dir]
+#   tools/run_tests.sh [--asan] [build-dir]
+#
+# --asan configures a Debug + AddressSanitizer/UBSan build (what the CI
+# sanitizer matrix legs run), defaulting the build dir to build-asan so
+# it never collides with a plain build tree.
 #
 # Extra CMake arguments go through GENASMX_CMAKE_ARGS, e.g.
 #   GENASMX_CMAKE_ARGS="-G Ninja -DGENASMX_WERROR=ON" tools/run_tests.sh
@@ -9,9 +13,37 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
+
+asan=0
+build_dir=""
+for arg in "$@"; do
+  case "${arg}" in
+    --asan) asan=1 ;;
+    --help|-h)
+      echo "usage: tools/run_tests.sh [--asan] [build-dir]"
+      exit 0
+      ;;
+    -*)
+      echo "unknown option: ${arg}" >&2
+      exit 2
+      ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
+
+extra_cmake_args=()
+if [[ "${asan}" == 1 ]]; then
+  build_dir="${build_dir:-${repo_root}/build-asan}"
+  extra_cmake_args+=(-DCMAKE_BUILD_TYPE=Debug -DGENASMX_SANITIZE=ON)
+  # Fail on any sanitizer report, exactly like CI.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:halt_on_error=1:detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+else
+  build_dir="${build_dir:-${repo_root}/build}"
+fi
 
 # shellcheck disable=SC2086  # GENASMX_CMAKE_ARGS is intentionally split
-cmake -B "${build_dir}" -S "${repo_root}" ${GENASMX_CMAKE_ARGS:-}
+cmake -B "${build_dir}" -S "${repo_root}" "${extra_cmake_args[@]}" \
+  ${GENASMX_CMAKE_ARGS:-}
 cmake --build "${build_dir}" -j "$(nproc)"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
