@@ -9,9 +9,11 @@
 // Scale here is reduced by default so every experiment runs in seconds
 // on one core; pass --scale=paper (or --reads/--length) to grow it.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,71 @@
 
 namespace gx::bench {
 
+// --------------------------------------------------------------- perf JSON
+//
+// The tracked perf trajectory: each harness can emit a flat-ish JSON
+// document (BENCH_*.json at the repo root) in its quick deterministic
+// mode, so every PR records the numbers it was measured at. Dependency-
+// free by design — a tiny ordered writer, not a JSON library.
+
+class JsonObject {
+ public:
+  JsonObject& num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& num(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& num(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& str(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return raw(key, quoted);
+  }
+  JsonObject& obj(const std::string& key, const JsonObject& child) {
+    return raw(key, child.str());
+  }
+
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+  /// Write to `path` (with a trailing newline). Returns false on I/O
+  /// failure so harnesses can exit non-zero.
+  [[nodiscard]] bool writeFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << str() << "\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  JsonObject& raw(const std::string& key, const std::string& v) {
+    body_ += body_.size() == 1 ? "" : ",";
+    body_ += "\"" + key + "\":" + v;
+    return *this;
+  }
+  std::string body_ = "{";
+};
+
+/// Peak resident set size (VmHWM) in bytes; 0 where /proc is absent.
+inline std::uint64_t peakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024ULL;
+    }
+  }
+  return 0;
+}
+
 struct WorkloadConfig {
   std::size_t genome_len = 400'000;
   std::size_t read_count = 20;
@@ -29,6 +96,11 @@ struct WorkloadConfig {
   double error_rate = 0.10;
   std::size_t max_candidates_per_read = 8;
   std::uint64_t seed = 1234;
+  /// Quick deterministic mode for the tracked perf JSON: a fixed reduced
+  /// workload (seeded PRNGs everywhere) that finishes in seconds.
+  bool quick = false;
+  /// When non-empty, the harness writes its BENCH_*.json here.
+  std::string json_path;
 
   static WorkloadConfig fromArgs(int argc, char** argv) {
     WorkloadConfig cfg;
@@ -43,6 +115,8 @@ struct WorkloadConfig {
       else if (const char* v3 = val("--length=")) cfg.read_length = std::strtoull(v3, nullptr, 10);
       else if (const char* v4 = val("--error=")) cfg.error_rate = std::strtod(v4, nullptr);
       else if (const char* v5 = val("--seed=")) cfg.seed = std::strtoull(v5, nullptr, 10);
+      else if (const char* v6 = val("--json=")) cfg.json_path = v6;
+      else if (arg == "--quick") cfg.quick = true;
       else if (arg == "--scale=paper") {
         // The paper's full workload; expect minutes-to-hours on one core.
         cfg.genome_len = 20'000'000;

@@ -30,6 +30,22 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace gx;
   auto cfg = bench::WorkloadConfig::fromArgs(argc, argv);
+  if (!cfg.json_path.empty() && !cfg.quick) {
+    // Same rule as bench_pipeline: the tracked JSON is only meaningful
+    // on the fixed quick workload.
+    std::fprintf(stderr,
+                 "error: --json requires --quick (the tracked workload)\n");
+    return 2;
+  }
+  if (cfg.quick) {
+    // Fixed deterministic tracked workload (see tools/run_bench.sh);
+    // sized so the scalar KSW2-class row still finishes in seconds.
+    cfg.genome_len = 200'000;
+    cfg.read_count = 20;
+    cfg.read_length = 1'500;
+    cfg.error_rate = 0.10;
+    cfg.seed = 1234;
+  }
   bench::printHeader("E1: CPU aligner throughput (bench_cpu_aligners)",
                      "improved GenASM CPU vs KSW2 15.2x, vs Edlib 1.7x, "
                      "vs unimproved GenASM 1.9x");
@@ -78,5 +94,32 @@ int main(int argc, char** argv) {
   std::printf(
       "Note: the KSW2-class kernel is scalar (no SIMD striping); see "
       "EXPERIMENTS.md for the constant-factor discussion.\n");
+
+  if (!cfg.json_path.empty()) {
+    bench::JsonObject root;
+    root.str("bench", "cpu_aligners")
+        .str("mode", "quick")
+        .num("pairs", static_cast<std::uint64_t>(w.pairs.size()))
+        .num("aligned_bases", w.aligned_bases);
+    for (const auto& r : rows) {
+      bench::JsonObject o;
+      o.num("seconds", r.seconds)
+          .num("alignments_per_sec",
+               r.seconds > 0
+                   ? static_cast<double>(w.pairs.size()) / r.seconds
+                   : 0.0)
+          .num("total_cost", r.total_cost);
+      root.obj(r.backend, o);
+    }
+    root.num("speedup_vs_ksw", rows[0].seconds / improved)
+        .num("speedup_vs_myers", rows[1].seconds / improved)
+        .num("speedup_vs_baseline", rows[2].seconds / improved)
+        .num("peak_rss_bytes", bench::peakRssBytes());
+    if (!root.writeFile(cfg.json_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", cfg.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cfg.json_path.c_str());
+  }
   return 0;
 }

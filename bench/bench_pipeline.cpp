@@ -1,25 +1,222 @@
-// E6 — End-to-end pipeline (the paper's methodology, Section II).
+// E6 — End-to-end pipeline (the paper's methodology, Section II) plus
+// the tracked perf trajectory.
 //
 // Paper: "We simulate 500 PacBio reads from the human genome using
 // PBSIM2, each of length 10kb. We map these reads to the human genome
 // using minimap2 and obtain all chains (candidate locations) it
 // generates using the -P flag, 138,929 locations in total."
 //
-// This harness reproduces each stage with the in-repo substrates and
-// reports per-stage timing plus the candidate statistics. Default scale
-// is reduced; --scale=paper selects 500 x 10 kb.
+// Default mode reproduces each stage with the in-repo substrates and
+// reports per-stage timing plus candidate statistics (--scale=paper for
+// the full size). --quick runs the fixed deterministic tracked workload
+// instead and, with --json=FILE, records the numbers every future PR is
+// held against (see tools/run_bench.sh and README "Performance"):
+//   * windowed-improved solver throughput (windows/sec, alignments/sec)
+//     with MemStats DP traffic and steady-state scratch allocations
+//     (must be 0 per window once the arenas are warm),
+//   * MappingPipeline reads/sec for the secondary-emitting full flow,
+//     the primary-only single-phase flow, and the primary-only two-phase
+//     distance-first flow, plus the two-phase speedup,
+//   * peak RSS.
 
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "genasmx/core/windowed.hpp"
 #include "genasmx/engine/registry.hpp"
 #include "genasmx/io/paf.hpp"
+#include "genasmx/pipeline/pipeline.hpp"
 #include "genasmx/util/stats.hpp"
 #include "genasmx/util/timer.hpp"
 
+namespace {
+
+using namespace gx;
+
+std::vector<io::FastxRecord> toFastx(
+    const std::vector<readsim::SimulatedRead>& reads) {
+  std::vector<io::FastxRecord> out;
+  out.reserve(reads.size());
+  for (const auto& r : reads) {
+    io::FastxRecord rec;
+    rec.name = r.name;
+    rec.seq = r.seq;
+    rec.qual.assign(r.seq.size(), 'I');
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+struct FlowTiming {
+  double seconds = 0;
+  double reads_per_sec = 0;
+  std::size_t records = 0;
+};
+
+FlowTiming timeFlow(const std::string& genome,
+                    const std::vector<io::FastxRecord>& reads,
+                    bool emit_secondary, bool two_phase) {
+  pipeline::PipelineConfig pcfg;
+  pcfg.engine.backend = "windowed-improved";
+  pcfg.engine.threads = 1;  // single-thread: stable, host-comparable
+  pcfg.emit_secondary = emit_secondary;
+  pcfg.two_phase = two_phase;
+  pipeline::MappingPipeline pipe("bench_ref", std::string(genome), pcfg);
+  // Warm pass (index/file-cache/arena first-touch), then the timed pass.
+  (void)pipe.mapBatch(reads);
+  util::Timer t;
+  const auto records = pipe.mapBatch(reads);
+  FlowTiming ft;
+  ft.seconds = t.seconds();
+  ft.reads_per_sec =
+      ft.seconds > 0 ? static_cast<double>(reads.size()) / ft.seconds : 0;
+  ft.records = records.size();
+  return ft;
+}
+
+int runTracked(bench::WorkloadConfig cfg) {
+  // The tracked workload is fixed: deterministic seeds, repeat-rich
+  // genome (so reads carry secondary candidates, as the paper's human-
+  // genome workload does), sized to finish in seconds on one core.
+  cfg.genome_len = 300'000;
+  cfg.read_count = 100;
+  cfg.read_length = 2'500;
+  cfg.error_rate = 0.10;
+  cfg.seed = 1234;
+  const auto w = bench::buildWorkload(cfg);
+  const auto reads = toFastx(w.reads);
+
+  bench::printHeader("E6: tracked perf (bench_pipeline --quick)",
+                     "perf trajectory baseline; see BENCH_pipeline.json");
+  bench::printWorkload(cfg, w);
+
+  // --- solver-level metrics over the workload's candidate pairs.
+  core::WindowConfig wcfg;
+  const int nw = bitvector::wordsNeeded(wcfg.window);
+  if (nw != 1) {
+    std::fprintf(stderr, "unexpected window width\n");
+    return 1;
+  }
+  core::ImprovedWindowSolver<1> solver;
+  core::WindowBuffers bufs;
+  // Pass 1: warm the arenas. Pass 2: timed, uncounted. Pass 3: counted
+  // (steady state — scratch_allocs must be 0).
+  for (const auto& p : w.pairs) {
+    (void)core::alignWindowed(solver, p.target, p.query, wcfg, bufs);
+  }
+  util::Timer t_align;
+  std::uint64_t total_cost = 0;
+  for (const auto& p : w.pairs) {
+    total_cost += core::alignWindowed(solver, p.target, p.query, wcfg, bufs)
+                      .cigar.editDistance();
+  }
+  const double align_seconds = t_align.seconds();
+  util::MemStats steady;
+  for (const auto& p : w.pairs) {
+    (void)core::alignWindowed(solver, p.target, p.query, wcfg, bufs,
+                              util::CountingMemCounter(steady));
+  }
+  const double windows = static_cast<double>(steady.problems);
+  const double windows_per_sec =
+      align_seconds > 0 ? windows / align_seconds : 0;
+  const double aligns_per_sec =
+      align_seconds > 0 ? static_cast<double>(w.pairs.size()) / align_seconds
+                        : 0;
+
+  std::printf("solver: %zu pairs, %.0f windows in %.3fs "
+              "(%.1f windows/s, %.1f alignments/s), cost=%llu\n",
+              w.pairs.size(), windows, align_seconds, windows_per_sec,
+              aligns_per_sec, static_cast<unsigned long long>(total_cost));
+  std::printf("solver steady-state scratch allocations: %llu "
+              "(per window: %.4f — must be 0)\n",
+              static_cast<unsigned long long>(steady.scratch_allocs),
+              windows > 0 ? static_cast<double>(steady.scratch_allocs) /
+                                windows
+                          : 0);
+
+  // --- pipeline flows.
+  const FlowTiming full = timeFlow(w.genome, reads, true, false);
+  const FlowTiming single = timeFlow(w.genome, reads, false, false);
+  const FlowTiming two = timeFlow(w.genome, reads, false, true);
+  const double speedup =
+      two.seconds > 0 ? full.seconds / two.seconds : 0;
+
+  std::printf("\npipeline (1 thread, windowed-improved):\n");
+  std::printf("  full flow (secondaries)        %8.3fs %10.1f reads/s  %zu records\n",
+              full.seconds, full.reads_per_sec, full.records);
+  std::printf("  primary-only, single-phase     %8.3fs %10.1f reads/s  %zu records\n",
+              single.seconds, single.reads_per_sec, single.records);
+  std::printf("  primary-only, two-phase        %8.3fs %10.1f reads/s  %zu records\n",
+              two.seconds, two.reads_per_sec, two.records);
+  std::printf("  two-phase speedup vs full      %8.2fx\n", speedup);
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(bench::peakRssBytes()) / (1024.0 * 1024.0));
+
+  if (!cfg.json_path.empty()) {
+    bench::JsonObject workload;
+    workload.num("genome_bp", static_cast<std::uint64_t>(cfg.genome_len))
+        .num("reads", static_cast<std::uint64_t>(cfg.read_count))
+        .num("read_length_bp", static_cast<std::uint64_t>(cfg.read_length))
+        .num("error_rate", cfg.error_rate)
+        .num("seed", cfg.seed)
+        .num("candidates", static_cast<std::uint64_t>(w.total_candidates))
+        .num("pairs", static_cast<std::uint64_t>(w.pairs.size()));
+    bench::JsonObject aligner;
+    aligner.num("windows", static_cast<std::uint64_t>(steady.problems))
+        .num("seconds", align_seconds)
+        .num("windows_per_sec", windows_per_sec)
+        .num("alignments_per_sec", aligns_per_sec)
+        .num("total_cost", total_cost)
+        .num("dp_loads", steady.dp_loads)
+        .num("dp_stores", steady.dp_stores)
+        .num("bytes_peak", steady.bytes_peak)
+        .num("steady_scratch_allocs", steady.scratch_allocs)
+        .num("steady_scratch_allocs_per_window",
+             windows > 0
+                 ? static_cast<double>(steady.scratch_allocs) / windows
+                 : 0.0);
+    auto flow = [](const FlowTiming& ft) {
+      bench::JsonObject o;
+      o.num("seconds", ft.seconds)
+          .num("reads_per_sec", ft.reads_per_sec)
+          .num("records", static_cast<std::uint64_t>(ft.records));
+      return o;
+    };
+    bench::JsonObject root;
+    root.str("bench", "pipeline")
+        .str("mode", "quick")
+        .str("backend", "windowed-improved")
+        .num("threads", 1)
+        .obj("workload", workload)
+        .obj("aligner", aligner)
+        .obj("pipeline_full", flow(full))
+        .obj("pipeline_primary_single_phase", flow(single))
+        .obj("pipeline_primary_two_phase", flow(two))
+        .num("speedup_two_phase_vs_full", speedup)
+        .num("peak_rss_bytes", bench::peakRssBytes());
+    if (!root.writeFile(cfg.json_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   cfg.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cfg.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace gx;
   auto cfg = bench::WorkloadConfig::fromArgs(argc, argv);
+  if (cfg.quick) return runTracked(cfg);
+  if (!cfg.json_path.empty()) {
+    // The tracked JSON is only meaningful on the fixed quick workload;
+    // refusing beats silently recording numbers for a different scale.
+    std::fprintf(stderr,
+                 "error: --json requires --quick (the tracked workload)\n");
+    return 2;
+  }
+
   bench::printHeader("E6: end-to-end pipeline (bench_pipeline)",
                      "500 x 10kb PBSIM2 reads -> minimap2 -P chains "
                      "(138,929 candidates) -> alignment");

@@ -95,7 +95,13 @@ struct PatternMasks {
     for (auto& v : pm) v = BitVec<NW>::allOnes();
   }
 
-  explicit PatternMasks(std::string_view pattern) : PatternMasks() {
+  explicit PatternMasks(std::string_view pattern) { assign(pattern); }
+
+  /// Rebuild the masks for a new pattern in place. Solvers keep a
+  /// PatternMasks member and call this per window, so the mask table is
+  /// constructed into long-lived storage instead of a fresh object.
+  void assign(std::string_view pattern) {
+    for (auto& v : pm) v = BitVec<NW>::allOnes();
     for (std::size_t j = 0; j < pattern.size() && j < BitVec<NW>::kBits; ++j) {
       pm[common::baseCode(pattern[j])].clearBit(static_cast<int>(j));
     }

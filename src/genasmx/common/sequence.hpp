@@ -45,6 +45,16 @@ inline constexpr char kBases[kAlphabetSize + 1] = "ACGT";
 /// reversed windows so traceback emits operations front-to-back.
 [[nodiscard]] std::string reversed(std::string_view s);
 
+/// Reverse `src` into `dst` with a single reverse-copy pass, reusing
+/// dst's capacity. The windowed hot loop reverses two buffers per window;
+/// steady state this allocates nothing.
+inline void reverseInto(std::string& dst, std::string_view src) {
+  dst.resize(src.size());
+  for (std::size_t j = 0; j < src.size(); ++j) {
+    dst[j] = src[src.size() - 1 - j];
+  }
+}
+
 /// Reverse complement (for minus-strand mapping).
 [[nodiscard]] std::string reverseComplement(std::string_view s);
 

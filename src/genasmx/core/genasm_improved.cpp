@@ -13,19 +13,9 @@ common::AlignmentResult runGlobal(std::string_view target,
                                   const ImprovedOptions& opts,
                                   Counter counter) {
   ImprovedWindowSolver<NW> solver(opts);
-  WindowSpec spec;
-  spec.anchor = Anchor::BothEnds;
-  spec.max_edits = max_edits;
-  const std::string t_rev = common::reversed(target);
-  const std::string q_rev = common::reversed(query);
-  WindowResult wr = solver.solve(t_rev, q_rev, spec, counter);
-  common::AlignmentResult out;
-  if (!wr.ok) return out;
-  out.ok = true;
-  out.edit_distance = wr.distance;
-  out.score = -wr.distance;
-  out.cigar = std::move(wr.cigar);
-  return out;
+  std::string t_rev, q_rev;
+  return genasm::alignGlobalWith(solver, t_rev, q_rev, target, query,
+                                 max_edits, counter);
 }
 
 template <class Counter>

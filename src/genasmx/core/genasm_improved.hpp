@@ -26,6 +26,7 @@
 // hardware's pipeline registers it is transient, but we still count its
 // traffic and footprint so the comparison against the baseline is honest.
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -68,9 +69,24 @@ class ImprovedWindowSolver {
   WindowResult solve(std::string_view text_rev, std::string_view pattern_rev,
                      const WindowSpec& spec, Counter counter = Counter{}) {
     WindowResult out;
+    solve(text_rev, pattern_rev, spec, out, counter);
+    return out;
+  }
+
+  /// In-place overload: `out` is reset and refilled, keeping its cigar's
+  /// capacity, so callers looping over windows (alignWindowed) reuse one
+  /// WindowResult instead of allocating a cigar per window.
+  template <class Counter = util::NullMemCounter>
+  void solve(std::string_view text_rev, std::string_view pattern_rev,
+             const WindowSpec& spec, WindowResult& out,
+             Counter counter = Counter{}) {
+    out.ok = false;
+    out.distance = -1;
+    out.traceback_complete = false;
+    out.cigar.clear();
     const int n = static_cast<int>(text_rev.size());
     const int m = static_cast<int>(pattern_rev.size());
-    if (m <= 0 || m > Vec::kBits) return out;
+    if (m <= 0 || m > Vec::kBits) return;
     const int k = spec.max_edits >= 0
                       ? spec.max_edits
                       : genasm::autoEditCap(n, m, spec.anchor);
@@ -83,36 +99,53 @@ class ImprovedWindowSolver {
       col_lo_ = n - spec.tb_op_limit - 1;
       if (col_lo_ < 0) col_lo_ = 0;
     }
-    stride_ = n - col_lo_ + 1;  // stored columns col_lo_ .. n
+    stride_ = n - col_lo_ + 1;   // stored columns col_lo_ .. n
+    edge_cols_ = stride_ - 1;    // uncompressed mode stores (col_lo_, n]
 
     const std::uint64_t work_bytes =
         std::uint64_t(2) * (n + 1) * sizeof(Vec);
+    // Logical footprint per persisted level: exactly what the traceback
+    // can read — stride_ compressed entries, or four edge vectors for
+    // each of the edge_cols_ stored columns (the old accounting charged
+    // 4*stride_ in uncompressed mode, one phantom column; alloc and free
+    // now both use the real figure, so MemStats stays balanced).
     const std::uint64_t row_bytes =
-        static_cast<std::uint64_t>(stride_) * sizeof(Vec) *
-        (opts_.compress_entries ? 1 : 4);
+        opts_.compress_entries
+            ? static_cast<std::uint64_t>(stride_) * sizeof(Vec)
+            : std::uint64_t(4) * edge_cols_ * sizeof(Vec);
     counter.alloc(work_bytes);
     counter.problem();
     std::uint64_t persisted_bytes = 0;
 
-    const bitvector::PatternMasks<NW> masks(pattern_rev);
-    work_prev_.resize(n + 1);
-    work_cur_.resize(n + 1);
-    rows_.clear();
-    edge_rows_.clear();
+    masks_.assign(pattern_rev);
+    genasm::ensureScratch(work_prev_, static_cast<std::size_t>(n) + 1,
+                          counter);
+    genasm::ensureScratch(work_cur_, static_cast<std::size_t>(n) + 1,
+                          counter);
 
     int dmin = -1;
     int computed_levels = 0;
     for (int d = 0; d < levels; ++d) {
       computed_levels = d + 1;
+      // The flat arena grows level by level (monotonically, across
+      // solves), so early-terminating solves never claim deeper levels
+      // and steady-state windows allocate nothing.
+      Vec* edge_row = nullptr;
+      if (opts_.compress_entries) {
+        genasm::ensureScratch(
+            rows_, static_cast<std::size_t>(d + 1) * stride_, counter);
+      } else {
+        genasm::ensureScratch(
+            edge_rows_, static_cast<std::size_t>(d + 1) * edge_cols_ * 4,
+            counter);
+        edge_row =
+            edge_rows_.data() + static_cast<std::size_t>(d) * edge_cols_ * 4;
+      }
       // Row d, column 0.
       work_cur_[0] = Vec::onesAbove(d);
       counter.store(NW);
-      if (!opts_.compress_entries) {
-        edge_rows_.emplace_back(static_cast<std::size_t>(stride_) * 4,
-                                Vec::allOnes());
-      }
       for (int i = 1; i <= n; ++i) {
-        const Vec& pm = masks.forChar(text_rev[i - 1]);
+        const Vec& pm = masks_.forChar(text_rev[i - 1]);
         // Register-carry accounting (mirrors the baseline's): the only
         // fresh operand per entry is work_prev_[i]; work_cur_[i-1] was
         // just computed and work_prev_[i-1] was the previous iteration's
@@ -136,8 +169,8 @@ class ImprovedWindowSolver {
         work_cur_[i] = r;
         counter.store(NW);
         counter.entry();
-        if (!opts_.compress_entries && i > col_lo_) {
-          Vec* e = &edge_rows_.back()[static_cast<std::size_t>(i - col_lo_ - 1) * 4];
+        if (edge_row != nullptr && i > col_lo_) {
+          Vec* e = edge_row + static_cast<std::size_t>(i - col_lo_ - 1) * 4;
           e[0] = match;
           e[1] = sub;
           e[2] = del;
@@ -145,9 +178,13 @@ class ImprovedWindowSolver {
           counter.store(4 * NW);
         }
       }
-      // Persist the traceback-visible slice of this row.
+      // Persist the traceback-visible slice of this row (columns
+      // col_lo_..n; the work buffers are monotone-grown, so the end
+      // bound is n + 1, not end()).
       if (opts_.compress_entries) {
-        rows_.emplace_back(work_cur_.begin() + col_lo_, work_cur_.end());
+        std::copy(work_cur_.begin() + col_lo_, work_cur_.begin() + (n + 1),
+                  rows_.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(d) * stride_));
         counter.store(static_cast<std::uint64_t>(stride_) * NW);
       }
       counter.alloc(row_bytes);
@@ -169,7 +206,16 @@ class ImprovedWindowSolver {
       out.ok = traceback(text_rev, pattern_rev, spec, n, m, dmin, out, counter);
     }
     counter.free(work_bytes + persisted_bytes);
-    return out;
+  }
+
+  /// Distance-only fast path: two working rows, no row persistence, no
+  /// traceback (see genasm::solveDistanceTwoRow). Returns d_min or -1.
+  template <class Counter = util::NullMemCounter>
+  int solveDistance(std::string_view text_rev, std::string_view pattern_rev,
+                    const WindowSpec& spec, Counter counter = Counter{}) {
+    return genasm::solveDistanceTwoRow<NW>(text_rev, pattern_rev, spec,
+                                           masks_, work_prev_, work_cur_,
+                                           counter);
   }
 
  private:
@@ -183,7 +229,9 @@ class ImprovedWindowSolver {
     if (bitidx < 0) return genasm::shiftInOne(anchor, col, lvl);
     if (col == 0) return bitidx >= lvl;
     counter.load(NW);
-    return rows_[lvl][static_cast<std::size_t>(col - col_lo_)].bit(bitidx);
+    return rows_[static_cast<std::size_t>(lvl) * stride_ +
+                 static_cast<std::size_t>(col - col_lo_)]
+        .bit(bitidx);
   }
 
   template <class Counter>
@@ -238,7 +286,10 @@ class ImprovedWindowSolver {
             d >= 1 && !rBitIsOne(spec.anchor, i, d - 1, pl - 2, counter);
       } else {
         const Vec* e =
-            &edge_rows_[d][static_cast<std::size_t>(i - col_lo_ - 1) * 4];
+            edge_rows_.data() +
+            (static_cast<std::size_t>(d) * edge_cols_ +
+             static_cast<std::size_t>(i - col_lo_ - 1)) *
+                4;
         counter.load(4 * NW);
         match_ok = !e[0].bit(pl - 1);
         sub_ok = d >= 1 && !e[1].bit(pl - 1);
@@ -276,9 +327,16 @@ class ImprovedWindowSolver {
   ImprovedOptions opts_;
   int col_lo_ = 0;
   int stride_ = 0;
-  std::vector<std::vector<Vec>> rows_;       // per level, pruned columns
-  std::vector<std::vector<Vec>> edge_rows_;  // ablation: uncompressed mode
+  int edge_cols_ = 0;
+  // Flat, stride-indexed scratch arenas, sized monotonically and reused
+  // across windows / reads / batch tasks (via the engine's per-worker
+  // aligner pool): level lvl's pruned columns live at
+  // rows_[lvl*stride_ ..] (compressed) or edge_rows_[lvl*edge_cols_*4 ..]
+  // (uncompressed ablation). Steady-state solves allocate nothing.
+  std::vector<Vec> rows_;
+  std::vector<Vec> edge_rows_;
   std::vector<Vec> work_prev_, work_cur_;
+  bitvector::PatternMasks<NW> masks_;
 };
 
 /// Convenience: fully global improved alignment (query <= 512 chars;

@@ -21,6 +21,23 @@ common::AlignmentResult runImproved(std::string_view target,
   return alignWindowed(solver, target, query, cfg, counter);
 }
 
+template <int NW, class Counter>
+int runBaselineDistance(std::string_view target, std::string_view query,
+                        const WindowConfig& cfg, int cap, Counter counter) {
+  genasm::BaselineWindowSolver<NW> solver;
+  WindowBuffers bufs;
+  return distanceWindowed(solver, target, query, cfg, cap, bufs, counter);
+}
+
+template <int NW, class Counter>
+int runImprovedDistance(std::string_view target, std::string_view query,
+                        const WindowConfig& cfg, const ImprovedOptions& opts,
+                        int cap, Counter counter) {
+  ImprovedWindowSolver<NW> solver(opts);
+  WindowBuffers bufs;
+  return distanceWindowed(solver, target, query, cfg, cap, bufs, counter);
+}
+
 }  // namespace
 
 common::AlignmentResult alignWindowedBaseline(std::string_view target,
@@ -54,6 +71,46 @@ common::AlignmentResult alignWindowedImproved(std::string_view target,
       case 3: return runImproved<3>(target, query, cfg, opts, counter);
       case 4: return runImproved<4>(target, query, cfg, opts, counter);
       default: return runImproved<8>(target, query, cfg, opts, counter);
+    }
+  };
+  if (stats) return run(util::CountingMemCounter(*stats));
+  return run(util::NullMemCounter{});
+}
+
+int distanceWindowedBaseline(std::string_view target, std::string_view query,
+                             const WindowConfig& cfg, int cap,
+                             util::MemStats* stats) {
+  const int nw = bitvector::wordsNeeded(cfg.window);
+  auto run = [&](auto counter) -> int {
+    switch (nw) {
+      case 1: return runBaselineDistance<1>(target, query, cfg, cap, counter);
+      case 2: return runBaselineDistance<2>(target, query, cfg, cap, counter);
+      case 3: return runBaselineDistance<3>(target, query, cfg, cap, counter);
+      case 4: return runBaselineDistance<4>(target, query, cfg, cap, counter);
+      default: return runBaselineDistance<8>(target, query, cfg, cap, counter);
+    }
+  };
+  if (stats) return run(util::CountingMemCounter(*stats));
+  return run(util::NullMemCounter{});
+}
+
+int distanceWindowedImproved(std::string_view target, std::string_view query,
+                             const WindowConfig& cfg,
+                             const ImprovedOptions& opts, int cap,
+                             util::MemStats* stats) {
+  const int nw = bitvector::wordsNeeded(cfg.window);
+  auto run = [&](auto counter) -> int {
+    switch (nw) {
+      case 1:
+        return runImprovedDistance<1>(target, query, cfg, opts, cap, counter);
+      case 2:
+        return runImprovedDistance<2>(target, query, cfg, opts, cap, counter);
+      case 3:
+        return runImprovedDistance<3>(target, query, cfg, opts, cap, counter);
+      case 4:
+        return runImprovedDistance<4>(target, query, cfg, opts, cap, counter);
+      default:
+        return runImprovedDistance<8>(target, query, cfg, opts, cap, counter);
     }
   };
   if (stats) return run(util::CountingMemCounter(*stats));

@@ -56,13 +56,24 @@ struct WindowConfig {
   }
 };
 
+/// Reusable per-worker state for the windowed drivers: the two reversal
+/// buffers and the per-window result (cigar capacity included). Owned by
+/// the caller (the engine's aligner instances keep one each), so a long
+/// read — and every read after it — runs the window loop with zero
+/// steady-state allocations.
+struct WindowBuffers {
+  std::string t_rev, q_rev;
+  genasm::WindowResult wr;
+};
+
 /// Align query against target using `solver` for each window.
-/// Solver must provide WindowResult solve(text_rev, pattern_rev, spec,
-/// counter) handling patterns up to cfg.window characters.
+/// Solver must provide solve(text_rev, pattern_rev, spec, out, counter)
+/// handling patterns up to cfg.window characters.
 template <class Solver, class Counter = util::NullMemCounter>
 common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
                                       std::string_view query,
                                       const WindowConfig& cfg,
+                                      WindowBuffers& bufs,
                                       Counter counter = Counter{}) {
   cfg.validate();
   common::AlignmentResult out;
@@ -70,13 +81,18 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
   std::size_t ti = 0;
   std::size_t qi = 0;
 
-  // Window text/pattern reversal buffers, reused across windows so a
-  // long read costs two allocations total instead of two per window
-  // (this loop is the mapping pipeline's hot path).
-  std::string t_rev, q_rev;
-  const auto reverseInto = [](std::string& dst, std::string_view src) {
-    dst.assign(src.rbegin(), src.rend());
-  };
+  std::string& t_rev = bufs.t_rev;
+  std::string& q_rev = bufs.q_rev;
+  genasm::WindowResult& wr = bufs.wr;
+
+  // Window specs are loop-invariant; build them once.
+  genasm::WindowSpec mid_spec;
+  mid_spec.anchor = genasm::Anchor::StartOnly;
+  mid_spec.max_edits = cfg.max_edits;
+  mid_spec.tb_op_limit = cfg.window - cfg.overlap;
+  genasm::WindowSpec final_spec;
+  final_spec.anchor = genasm::Anchor::StartOnly;
+  final_spec.max_edits = cfg.max_edits;
 
   while (true) {
     const std::size_t rem_t = target.size() - ti;
@@ -105,12 +121,9 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
       const std::size_t tw_len =
           std::min(rem_t, rem_q + static_cast<std::size_t>(
                                       cfg.textWindow() - cfg.window));
-      reverseInto(t_rev, target.substr(ti, tw_len));
-      reverseInto(q_rev, query.substr(qi, rem_q));
-      genasm::WindowSpec spec;
-      spec.anchor = genasm::Anchor::StartOnly;
-      spec.max_edits = cfg.max_edits;
-      genasm::WindowResult wr = solver.solve(t_rev, q_rev, spec, counter);
+      common::reverseInto(t_rev, target.substr(ti, tw_len));
+      common::reverseInto(q_rev, query.substr(qi, rem_q));
+      solver.solve(t_rev, q_rev, final_spec, wr, counter);
       if (!wr.ok) return out;  // out.ok == false
       out.cigar.append(wr.cigar);
       const std::uint64_t consumed = wr.cigar.targetLength();
@@ -124,13 +137,9 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
     // Mid-read window.
     const std::size_t tw_len =
         std::min(rem_t, static_cast<std::size_t>(cfg.textWindow()));
-    reverseInto(t_rev, target.substr(ti, tw_len));
-    reverseInto(q_rev, query.substr(qi, W));
-    genasm::WindowSpec spec;
-    spec.anchor = genasm::Anchor::StartOnly;
-    spec.max_edits = cfg.max_edits;
-    spec.tb_op_limit = cfg.window - cfg.overlap;
-    genasm::WindowResult wr = solver.solve(t_rev, q_rev, spec, counter);
+    common::reverseInto(t_rev, target.substr(ti, tw_len));
+    common::reverseInto(q_rev, query.substr(qi, W));
+    solver.solve(t_rev, q_rev, mid_spec, wr, counter);
     if (!wr.ok) return out;
     const std::uint64_t tc = wr.cigar.targetLength();
     const std::uint64_t qc = wr.cigar.queryLength();
@@ -146,6 +155,94 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
   return out;
 }
 
+/// Convenience overload with driver-local buffers (tests, one-shot use).
+template <class Solver, class Counter = util::NullMemCounter>
+common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
+                                      std::string_view query,
+                                      const WindowConfig& cfg,
+                                      Counter counter = Counter{}) {
+  WindowBuffers bufs;
+  return alignWindowed(solver, target, query, cfg, bufs, counter);
+}
+
+/// Windowed edit distance with an exact result cap. Mirrors
+/// alignWindowed() window for window — the per-window solves and their
+/// tracebacks are identical (the windowing heuristic needs each window's
+/// committed operations to advance its cursors), only the output cigar is
+/// never accumulated. `cap` makes candidate scoring cheap: edits only
+/// accumulate, so the march aborts as soon as the committed total
+/// provably exceeds the cap. Returns the distance alignWindowed()'s
+/// result would report when it is <= cap (or cap < 0), else -1; also -1
+/// whenever alignWindowed() would fail (ok == false).
+template <class Solver, class Counter = util::NullMemCounter>
+int distanceWindowed(Solver& solver, std::string_view target,
+                     std::string_view query, const WindowConfig& cfg,
+                     int cap, WindowBuffers& bufs,
+                     Counter counter = Counter{}) {
+  cfg.validate();
+  const std::size_t W = static_cast<std::size_t>(cfg.window);
+  std::size_t ti = 0;
+  std::size_t qi = 0;
+  std::uint64_t acc = 0;  // committed edits so far; only ever grows
+  const std::uint64_t budget =
+      cap < 0 ? ~0ULL : static_cast<std::uint64_t>(cap);
+
+  std::string& t_rev = bufs.t_rev;
+  std::string& q_rev = bufs.q_rev;
+  genasm::WindowResult& wr = bufs.wr;
+
+  genasm::WindowSpec mid_spec;
+  mid_spec.anchor = genasm::Anchor::StartOnly;
+  mid_spec.max_edits = cfg.max_edits;
+  mid_spec.tb_op_limit = cfg.window - cfg.overlap;
+  genasm::WindowSpec final_spec;
+  final_spec.anchor = genasm::Anchor::StartOnly;
+  final_spec.max_edits = cfg.max_edits;
+
+  while (true) {
+    const std::size_t rem_t = target.size() - ti;
+    const std::size_t rem_q = query.size() - qi;
+    if (rem_q == 0) {
+      acc += rem_t;  // trailing deletions
+      break;
+    }
+    if (rem_t == 0) {
+      acc += rem_q;  // trailing insertions
+      break;
+    }
+
+    if (rem_q <= W) {
+      const std::size_t tw_len =
+          std::min(rem_t, rem_q + static_cast<std::size_t>(
+                                      cfg.textWindow() - cfg.window));
+      common::reverseInto(t_rev, target.substr(ti, tw_len));
+      common::reverseInto(q_rev, query.substr(qi, rem_q));
+      solver.solve(t_rev, q_rev, final_spec, wr, counter);
+      if (!wr.ok) return -1;
+      acc += wr.cigar.editDistance();
+      const std::uint64_t consumed = wr.cigar.targetLength();
+      if (consumed < rem_t) acc += rem_t - consumed;
+      break;
+    }
+
+    const std::size_t tw_len =
+        std::min(rem_t, static_cast<std::size_t>(cfg.textWindow()));
+    common::reverseInto(t_rev, target.substr(ti, tw_len));
+    common::reverseInto(q_rev, query.substr(qi, W));
+    solver.solve(t_rev, q_rev, mid_spec, wr, counter);
+    if (!wr.ok) return -1;
+    const std::uint64_t tc = wr.cigar.targetLength();
+    const std::uint64_t qc = wr.cigar.queryLength();
+    if (tc == 0 && qc == 0) return -1;  // defensive: no progress
+    acc += wr.cigar.editDistance();
+    if (acc > budget) return -1;  // total >= acc, so the cap is blown
+    ti += tc;
+    qi += qc;
+  }
+  if (acc > budget) return -1;
+  return static_cast<int>(acc);
+}
+
 /// Windowed alignment with the unimproved baseline solver.
 [[nodiscard]] common::AlignmentResult alignWindowedBaseline(
     std::string_view target, std::string_view query,
@@ -156,5 +253,20 @@ common::AlignmentResult alignWindowed(Solver& solver, std::string_view target,
     std::string_view target, std::string_view query,
     const WindowConfig& cfg = {}, const ImprovedOptions& opts = {},
     util::MemStats* stats = nullptr);
+
+/// Capped windowed distance with the baseline solver.
+[[nodiscard]] int distanceWindowedBaseline(std::string_view target,
+                                           std::string_view query,
+                                           const WindowConfig& cfg = {},
+                                           int cap = -1,
+                                           util::MemStats* stats = nullptr);
+
+/// Capped windowed distance with the improved solver.
+[[nodiscard]] int distanceWindowedImproved(std::string_view target,
+                                           std::string_view query,
+                                           const WindowConfig& cfg = {},
+                                           const ImprovedOptions& opts = {},
+                                           int cap = -1,
+                                           util::MemStats* stats = nullptr);
 
 }  // namespace gx::core

@@ -48,12 +48,19 @@ class Aligner {
       std::string_view target, std::string_view query) = 0;
 
   /// Edit cost only, no CIGAR. Backends with a cheaper distance-only
-  /// kernel (e.g. Myers without traceback) override this; the default
-  /// pays for the full alignment. Returns -1 when no alignment exists
-  /// under the backend's configuration.
+  /// kernel (GenASM's two-row DC loop, Myers without traceback) override
+  /// this; the default pays for the full alignment. The contract every
+  /// backend must honor (tests enforce it): returns exactly
+  /// align(target, query).edit_distance whenever that alignment exists
+  /// and its cost is <= cap (cap < 0 = uncapped), and -1 otherwise —
+  /// so capped scoring can discard candidates without ever changing
+  /// which ones survive.
   [[nodiscard]] virtual int distance(std::string_view target,
-                                     std::string_view query) {
-    return align(target, query).edit_distance;
+                                     std::string_view query, int cap = -1) {
+    const common::AlignmentResult res = align(target, query);
+    if (!res.ok) return -1;
+    if (cap >= 0 && res.edit_distance > cap) return -1;
+    return res.edit_distance;
   }
 
   /// The registry name this instance was created under.

@@ -20,6 +20,12 @@ common::AlignmentResult AlignmentEngine::align(std::string_view target,
   return result;
 }
 
+int AlignmentEngine::distance(std::string_view target, std::string_view query,
+                              int cap) {
+  AlignerLease aligner(*this);
+  return aligner->distance(target, query, cap);
+}
+
 AlignerPtr AlignmentEngine::acquireAligner() {
   {
     const std::lock_guard<std::mutex> lock(spares_mu_);
@@ -49,6 +55,19 @@ std::vector<common::AlignmentResult> AlignmentEngine::alignBatch(
       results[i] = aligner->align(tasks[i].target, tasks[i].query);
     }
     releaseAligner(std::move(aligner));
+  });
+  return results;
+}
+
+std::vector<int> AlignmentEngine::distanceBatch(
+    const std::vector<DistanceTask>& tasks) {
+  std::vector<int> results(tasks.size(), -1);
+  pool_.parallel_for(tasks.size(), [&](std::size_t begin, std::size_t end) {
+    AlignerLease aligner(*this);
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] =
+          aligner->distance(tasks[i].target, tasks[i].query, tasks[i].cap);
+    }
   });
   return results;
 }

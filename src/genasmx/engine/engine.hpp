@@ -30,6 +30,15 @@ struct AlignmentTask {
   std::string_view query;   ///< read, oriented to the mapping strand
 };
 
+/// A distance-only problem: like AlignmentTask but CIGAR-free, with an
+/// optional exact result cap — distances above `cap` report -1 without
+/// paying for the full solve (see Aligner::distance).
+struct DistanceTask {
+  std::string_view target;
+  std::string_view query;
+  int cap = -1;
+};
+
 struct EngineConfig {
   /// Registry name of the backend to run (see registry.hpp).
   std::string backend = "windowed-improved";
@@ -55,6 +64,10 @@ class AlignmentEngine {
   [[nodiscard]] common::AlignmentResult align(std::string_view target,
                                               std::string_view query);
 
+  /// Distance one pair on the calling thread (same spare-pool checkout).
+  [[nodiscard]] int distance(std::string_view target, std::string_view query,
+                             int cap = -1);
+
   /// Align every task; results[i] corresponds to tasks[i]. Deterministic:
   /// identical to the sequential loop regardless of thread count. The
   /// viewed storage must outlive the call.
@@ -64,6 +77,34 @@ class AlignmentEngine {
   /// Owning-pair convenience overload (same semantics).
   [[nodiscard]] std::vector<common::AlignmentResult> alignBatch(
       const std::vector<mapper::AlignmentPair>& pairs);
+
+  /// Distance-score every task; results[i] is the edit distance of
+  /// tasks[i] (or -1: no alignment, or above tasks[i].cap). Deterministic
+  /// like alignBatch; the traceback-free fast path of the two-phase
+  /// mapping flow.
+  [[nodiscard]] std::vector<int> distanceBatch(
+      const std::vector<DistanceTask>& tasks);
+
+  /// RAII checkout of a worker aligner from the spare pool. Callers that
+  /// run their own loops on the engine's pool (pipeline candidate
+  /// scoring) hold one lease per chunk so solver scratch is reused
+  /// without a pool round-trip per problem.
+  class AlignerLease {
+   public:
+    explicit AlignerLease(AlignmentEngine& engine)
+        : engine_(&engine), aligner_(engine.acquireAligner()) {}
+    ~AlignerLease() {
+      if (aligner_) engine_->releaseAligner(std::move(aligner_));
+    }
+    AlignerLease(const AlignerLease&) = delete;
+    AlignerLease& operator=(const AlignerLease&) = delete;
+    [[nodiscard]] Aligner* operator->() noexcept { return aligner_.get(); }
+    [[nodiscard]] Aligner& operator*() noexcept { return *aligner_; }
+
+   private:
+    AlignmentEngine* engine_;
+    AlignerPtr aligner_;
+  };
 
   /// The engine's worker pool, for callers (e.g. pipeline::MappingPipeline)
   /// that parallelize their own pre/post-processing around alignBatch()

@@ -1,6 +1,9 @@
 #include "genasmx/engine/registry.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <tuple>
+#include <type_traits>
 #include <utility>
 
 #include "genasmx/bitvector/bitvector.hpp"
@@ -17,6 +20,41 @@ using common::AlignmentResult;
 // queries silently switch to the windowed driver with the same config.
 constexpr std::size_t kGlobalGenasmMax = bitvector::BitVec<8>::kBits;
 
+/// Run fn with the bit-width as an integral_constant, so a runtime
+/// wordsNeeded() value selects the right solver instantiation.
+template <class Fn>
+decltype(auto) withWidth(int nw, Fn&& fn) {
+  switch (nw) {
+    case 1: return fn(std::integral_constant<int, 1>{});
+    case 2: return fn(std::integral_constant<int, 2>{});
+    case 3: return fn(std::integral_constant<int, 3>{});
+    case 4: return fn(std::integral_constant<int, 4>{});
+    case 5: return fn(std::integral_constant<int, 5>{});
+    case 6: return fn(std::integral_constant<int, 6>{});
+    case 7: return fn(std::integral_constant<int, 7>{});
+    default: return fn(std::integral_constant<int, 8>{});
+  }
+}
+
+/// Lazily-constructed per-bit-width solver instances. Each aligner owns
+/// one, so solver scratch arenas persist across align()/distance() calls
+/// — this is the per-worker reuse AlignmentEngine's spare pool relies on.
+template <template <int> class S>
+struct PerWidthSolvers {
+  std::tuple<std::unique_ptr<S<1>>, std::unique_ptr<S<2>>,
+             std::unique_ptr<S<3>>, std::unique_ptr<S<4>>,
+             std::unique_ptr<S<5>>, std::unique_ptr<S<6>>,
+             std::unique_ptr<S<7>>, std::unique_ptr<S<8>>>
+      slots;
+
+  template <int NW, class... Args>
+  S<NW>& get(Args&&... args) {
+    auto& p = std::get<NW - 1>(slots);
+    if (!p) p = std::make_unique<S<NW>>(std::forward<Args>(args)...);
+    return *p;
+  }
+};
+
 class GlobalBaselineAligner final : public Aligner {
  public:
   // Window geometry is validated up front: the >512 bp fallback would
@@ -26,14 +64,38 @@ class GlobalBaselineAligner final : public Aligner {
   }
   AlignmentResult align(std::string_view t, std::string_view q) override {
     if (q.size() <= kGlobalGenasmMax) {
-      return genasm::alignGlobalBaseline(t, q, cfg_.max_edits);
+      return withWidth(
+          bitvector::wordsNeeded(static_cast<int>(q.size())), [&](auto nw) {
+            return genasm::alignGlobalWith(solvers_.template get<nw()>(),
+                                           bufs_.t_rev, bufs_.q_rev, t, q,
+                                           cfg_.max_edits);
+          });
     }
-    return core::alignWindowedBaseline(t, q, cfg_.window);
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::alignWindowed(solvers_.template get<nw()>(), t, q,
+                                 cfg_.window, bufs_);
+    });
+  }
+  int distance(std::string_view t, std::string_view q, int cap) override {
+    if (q.size() <= kGlobalGenasmMax) {
+      return withWidth(
+          bitvector::wordsNeeded(static_cast<int>(q.size())), [&](auto nw) {
+            return genasm::distanceGlobalWith(solvers_.template get<nw()>(),
+                                              bufs_.t_rev, bufs_.q_rev, t, q,
+                                              cfg_.max_edits, cap);
+          });
+    }
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::distanceWindowed(solvers_.template get<nw()>(), t, q,
+                                    cfg_.window, cap, bufs_);
+    });
   }
   std::string_view name() const noexcept override { return "baseline"; }
 
  private:
   AlignerConfig cfg_;
+  PerWidthSolvers<genasm::BaselineWindowSolver> solvers_;
+  core::WindowBuffers bufs_;
 };
 
 class GlobalImprovedAligner final : public Aligner {
@@ -43,22 +105,56 @@ class GlobalImprovedAligner final : public Aligner {
   }
   AlignmentResult align(std::string_view t, std::string_view q) override {
     if (q.size() <= kGlobalGenasmMax) {
-      return core::alignGlobalImproved(t, q, cfg_.max_edits, cfg_.improved);
+      return withWidth(
+          bitvector::wordsNeeded(static_cast<int>(q.size())), [&](auto nw) {
+            return genasm::alignGlobalWith(
+                solvers_.template get<nw()>(cfg_.improved), bufs_.t_rev,
+                bufs_.q_rev, t, q, cfg_.max_edits);
+          });
     }
-    return core::alignWindowedImproved(t, q, cfg_.window, cfg_.improved);
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::alignWindowed(solvers_.template get<nw()>(cfg_.improved),
+                                 t, q, cfg_.window, bufs_);
+    });
+  }
+  int distance(std::string_view t, std::string_view q, int cap) override {
+    if (q.size() <= kGlobalGenasmMax) {
+      return withWidth(
+          bitvector::wordsNeeded(static_cast<int>(q.size())), [&](auto nw) {
+            return genasm::distanceGlobalWith(
+                solvers_.template get<nw()>(cfg_.improved), bufs_.t_rev,
+                bufs_.q_rev, t, q, cfg_.max_edits, cap);
+          });
+    }
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::distanceWindowed(solvers_.template get<nw()>(cfg_.improved),
+                                    t, q, cfg_.window, cap, bufs_);
+    });
   }
   std::string_view name() const noexcept override { return "improved"; }
 
  private:
   AlignerConfig cfg_;
+  PerWidthSolvers<core::ImprovedWindowSolver> solvers_;
+  core::WindowBuffers bufs_;
 };
 
-template <int NW>
 class WindowedBaselineAligner final : public Aligner {
  public:
-  explicit WindowedBaselineAligner(const AlignerConfig& cfg) : cfg_(cfg) {}
+  explicit WindowedBaselineAligner(const AlignerConfig& cfg) : cfg_(cfg) {
+    cfg_.window.validate();
+  }
   AlignmentResult align(std::string_view t, std::string_view q) override {
-    return core::alignWindowed(solver_, t, q, cfg_.window);
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::alignWindowed(solvers_.template get<nw()>(), t, q,
+                                 cfg_.window, bufs_);
+    });
+  }
+  int distance(std::string_view t, std::string_view q, int cap) override {
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::distanceWindowed(solvers_.template get<nw()>(), t, q,
+                                    cfg_.window, cap, bufs_);
+    });
   }
   std::string_view name() const noexcept override {
     return "windowed-baseline";
@@ -66,16 +162,26 @@ class WindowedBaselineAligner final : public Aligner {
 
  private:
   AlignerConfig cfg_;
-  genasm::BaselineWindowSolver<NW> solver_;
+  PerWidthSolvers<genasm::BaselineWindowSolver> solvers_;
+  core::WindowBuffers bufs_;
 };
 
-template <int NW>
 class WindowedImprovedAligner final : public Aligner {
  public:
-  explicit WindowedImprovedAligner(const AlignerConfig& cfg)
-      : cfg_(cfg), solver_(cfg.improved) {}
+  explicit WindowedImprovedAligner(const AlignerConfig& cfg) : cfg_(cfg) {
+    cfg_.window.validate();
+  }
   AlignmentResult align(std::string_view t, std::string_view q) override {
-    return core::alignWindowed(solver_, t, q, cfg_.window);
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::alignWindowed(solvers_.template get<nw()>(cfg_.improved),
+                                 t, q, cfg_.window, bufs_);
+    });
+  }
+  int distance(std::string_view t, std::string_view q, int cap) override {
+    return withWidth(bitvector::wordsNeeded(cfg_.window.window), [&](auto nw) {
+      return core::distanceWindowed(solvers_.template get<nw()>(cfg_.improved),
+                                    t, q, cfg_.window, cap, bufs_);
+    });
   }
   std::string_view name() const noexcept override {
     return "windowed-improved";
@@ -83,23 +189,9 @@ class WindowedImprovedAligner final : public Aligner {
 
  private:
   AlignerConfig cfg_;
-  core::ImprovedWindowSolver<NW> solver_;
+  PerWidthSolvers<core::ImprovedWindowSolver> solvers_;
+  core::WindowBuffers bufs_;
 };
-
-// The solver bit-width is fixed by the window geometry at construction,
-// so the scratch buffers (DP rows, pattern masks) persist across align()
-// calls — this is the per-worker reuse AlignmentEngine relies on.
-template <template <int> class A>
-AlignerPtr makeWindowed(const AlignerConfig& cfg) {
-  cfg.window.validate();
-  switch (bitvector::wordsNeeded(cfg.window.window)) {
-    case 1: return std::make_unique<A<1>>(cfg);
-    case 2: return std::make_unique<A<2>>(cfg);
-    case 3: return std::make_unique<A<3>>(cfg);
-    case 4: return std::make_unique<A<4>>(cfg);
-    default: return std::make_unique<A<8>>(cfg);
-  }
-}
 
 class MyersBackend final : public Aligner {
  public:
@@ -107,8 +199,10 @@ class MyersBackend final : public Aligner {
   AlignmentResult align(std::string_view t, std::string_view q) override {
     return aligner_.align(t, q);
   }
-  int distance(std::string_view t, std::string_view q) override {
-    return aligner_.distance(t, q);  // bit-parallel, no traceback storage
+  int distance(std::string_view t, std::string_view q, int cap) override {
+    const int d = aligner_.distance(t, q);  // bit-parallel, no traceback
+    if (d < 0) return -1;
+    return (cap >= 0 && d > cap) ? -1 : d;
   }
   std::string_view name() const noexcept override { return "myers"; }
 
@@ -134,8 +228,10 @@ class EditDpBackend final : public Aligner {
   AlignmentResult align(std::string_view t, std::string_view q) override {
     return refdp::align(t, q);
   }
-  int distance(std::string_view t, std::string_view q) override {
-    return refdp::editDistance(t, q);  // O(min(n,m)) space, no traceback
+  int distance(std::string_view t, std::string_view q, int cap) override {
+    // O(min(n,m)) space, no traceback; a cap selects the Ukkonen band.
+    if (cap >= 0) return refdp::editDistanceBanded(t, q, cap);
+    return refdp::editDistance(t, q);
   }
   std::string_view name() const noexcept override { return "edit-dp"; }
 };
@@ -165,13 +261,13 @@ AlignerRegistry::AlignerRegistry() {
         return std::make_unique<GlobalImprovedAligner>(cfg);
       });
   add("windowed-baseline", "windowed unimproved GenASM (long reads)",
-      [](const AlignerConfig& cfg) {
-        return makeWindowed<WindowedBaselineAligner>(cfg);
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<WindowedBaselineAligner>(cfg);
       });
   add("windowed-improved",
       "windowed improved GenASM — the paper's system (default)",
-      [](const AlignerConfig& cfg) {
-        return makeWindowed<WindowedImprovedAligner>(cfg);
+      [](const AlignerConfig& cfg) -> AlignerPtr {
+        return std::make_unique<WindowedImprovedAligner>(cfg);
       });
   add("myers", "Myers bit-parallel + band doubling (Edlib-class)",
       [](const AlignerConfig& cfg) -> AlignerPtr {

@@ -34,25 +34,40 @@ class BaselineWindowSolver {
   WindowResult solve(std::string_view text_rev, std::string_view pattern_rev,
                      const WindowSpec& spec, Counter counter = Counter{}) {
     WindowResult out;
+    solve(text_rev, pattern_rev, spec, out, counter);
+    return out;
+  }
+
+  /// In-place overload (see ImprovedWindowSolver): resets and refills
+  /// `out`, preserving its cigar capacity across windows.
+  template <class Counter = util::NullMemCounter>
+  void solve(std::string_view text_rev, std::string_view pattern_rev,
+             const WindowSpec& spec, WindowResult& out,
+             Counter counter = Counter{}) {
+    out.ok = false;
+    out.distance = -1;
+    out.traceback_complete = false;
+    out.cigar.clear();
     const int n = static_cast<int>(text_rev.size());
     const int m = static_cast<int>(pattern_rev.size());
-    if (m <= 0 || m > Vec::kBits) return out;
+    if (m <= 0 || m > Vec::kBits) return;
     const int k = spec.max_edits >= 0 ? spec.max_edits
                                       : autoEditCap(n, m, spec.anchor);
     const int levels = k + 1;
 
-    // Logical per-problem DP footprint; scratch buffers are reused across
-    // calls, so footprint is accounted explicitly.
+    // Logical per-problem DP footprint; the flat scratch buffers grow
+    // monotonically and are reused across calls, so footprint is
+    // accounted explicitly (and symmetrically freed below).
     const std::uint64_t edge_bytes =
         std::uint64_t(4) * std::uint64_t(n) * levels * sizeof(Vec);
     const std::uint64_t col_bytes = std::uint64_t(2) * levels * sizeof(Vec);
     counter.alloc(edge_bytes + col_bytes);
     counter.problem();
 
-    const bitvector::PatternMasks<NW> masks(pattern_rev);
-    edges_.resize(static_cast<std::size_t>(n) * levels);
-    prev_.resize(levels);
-    cur_.resize(levels);
+    masks_.assign(pattern_rev);
+    ensureScratch(edges_, static_cast<std::size_t>(n) * levels, counter);
+    ensureScratch(prev_, static_cast<std::size_t>(levels), counter);
+    ensureScratch(cur_, static_cast<std::size_t>(levels), counter);
 
     // Column 0: pattern prefix j+1 needs j+1 insertions.
     for (int d = 0; d < levels; ++d) {
@@ -62,7 +77,7 @@ class BaselineWindowSolver {
 
     // Column-major GenASM-DC.
     for (int i = 1; i <= n; ++i) {
-      const Vec& pm = masks.forChar(text_rev[i - 1]);
+      const Vec& pm = masks_.forChar(text_rev[i - 1]);
       Edges* col = &edges_[static_cast<std::size_t>(i - 1) * levels];
       for (int d = 0; d < levels; ++d) {
         // One load per entry: prev_[d]. The other operands are register-
@@ -107,7 +122,17 @@ class BaselineWindowSolver {
       out.ok = traceback(text_rev, spec, n, m, dmin, levels, out, counter);
     }
     counter.free(edge_bytes + col_bytes);
-    return out;
+  }
+
+  /// Distance-only fast path (see genasm::solveDistanceTwoRow): the
+  /// baseline has no cheap d_min kernel in hardware, but exposing one
+  /// keeps Aligner::distance() honest for every backend. Scratch is
+  /// shared with solve() — both only ever grow it.
+  template <class Counter = util::NullMemCounter>
+  int solveDistance(std::string_view text_rev, std::string_view pattern_rev,
+                    const WindowSpec& spec, Counter counter = Counter{}) {
+    return solveDistanceTwoRow<NW>(text_rev, pattern_rev, spec, masks_,
+                                   prev_, cur_, counter);
   }
 
  private:
@@ -200,8 +225,11 @@ class BaselineWindowSolver {
     return true;
   }
 
+  // Flat scratch, grown monotonically and reused across solves (and, via
+  // the engine's per-worker aligner pool, across reads and batches).
   std::vector<Edges> edges_;
   std::vector<Vec> prev_, cur_;
+  bitvector::PatternMasks<NW> masks_;
 };
 
 /// Convenience: fully global baseline alignment of query against target

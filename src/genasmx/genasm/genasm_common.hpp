@@ -20,9 +20,15 @@
 //               every shift unless the empty-prefix state is still
 //               affordable (i <= d), see BitVec::shl1.
 
+#include <cstdint>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "genasmx/bitvector/bitvector.hpp"
 #include "genasmx/common/cigar.hpp"
+#include "genasmx/common/sequence.hpp"
 #include "genasmx/util/mem_stats.hpp"
 
 namespace gx::genasm {
@@ -65,6 +71,138 @@ struct WindowResult {
 /// 0 (active-low: 0 = state available).
 [[nodiscard]] constexpr bool shiftInOne(Anchor anchor, int i, int d) noexcept {
   return anchor == Anchor::BothEnds && i > d;
+}
+
+/// Global (BothEnds) alignment through a caller-owned solver and reversal
+/// buffers — the allocation-free path the engine's per-worker aligners
+/// use. Handles the empty-query degenerate case the solvers reject.
+template <class Solver, class Counter = util::NullMemCounter>
+common::AlignmentResult alignGlobalWith(Solver& solver, std::string& t_rev,
+                                        std::string& q_rev,
+                                        std::string_view target,
+                                        std::string_view query, int max_edits,
+                                        Counter counter = Counter{}) {
+  common::AlignmentResult out;
+  if (query.empty()) {
+    out.ok = true;
+    out.edit_distance = static_cast<int>(target.size());
+    out.score = -out.edit_distance;
+    if (!target.empty()) {
+      out.cigar.push(common::EditOp::Deletion,
+                     static_cast<std::uint32_t>(target.size()));
+    }
+    return out;
+  }
+  WindowSpec spec;
+  spec.anchor = Anchor::BothEnds;
+  spec.max_edits = max_edits;
+  common::reverseInto(t_rev, target);
+  common::reverseInto(q_rev, query);
+  WindowResult wr = solver.solve(t_rev, q_rev, spec, counter);
+  if (!wr.ok) return out;
+  out.ok = true;
+  out.edit_distance = wr.distance;
+  out.score = -wr.distance;
+  out.cigar = std::move(wr.cigar);
+  return out;
+}
+
+/// Global (BothEnds) distance through solveDistance: the two-row kernel,
+/// with the caller's result cap folded into the level cap so hopeless
+/// problems stop at cap+1 levels. Returns the exact distance when it is
+/// <= cap (or cap < 0), else -1.
+template <class Solver, class Counter = util::NullMemCounter>
+int distanceGlobalWith(Solver& solver, std::string& t_rev, std::string& q_rev,
+                       std::string_view target, std::string_view query,
+                       int max_edits, int cap, Counter counter = Counter{}) {
+  if (query.empty()) {
+    const int d = static_cast<int>(target.size());
+    return (cap >= 0 && d > cap) ? -1 : d;
+  }
+  WindowSpec spec;
+  spec.anchor = Anchor::BothEnds;
+  int k = max_edits >= 0
+              ? max_edits
+              : autoEditCap(static_cast<int>(target.size()),
+                            static_cast<int>(query.size()), Anchor::BothEnds);
+  if (cap >= 0 && cap < k) k = cap;
+  spec.max_edits = k;
+  common::reverseInto(t_rev, target);
+  common::reverseInto(q_rev, query);
+  return solver.solveDistance(t_rev, q_rev, spec, counter);
+}
+
+/// Monotone scratch growth: solver arenas only ever grow, so repeated
+/// solves over a stable window geometry perform zero heap allocations.
+/// Growth events are recorded in MemStats::scratch_allocs so the perf
+/// harness can assert steady-state allocation-freedom.
+template <class T, class Counter>
+void ensureScratch(std::vector<T>& buf, std::size_t n, Counter& counter) {
+  if (buf.size() < n) {
+    counter.scratch((n - buf.size()) * sizeof(T));
+    buf.resize(n);
+  }
+}
+
+/// Distance-only GenASM-DC: the level-major two-working-row loop with
+/// inherent early termination and *no* row persistence or traceback —
+/// the cheapest possible d_min kernel (O(n) space regardless of k).
+/// Shared by both window solvers; `masks`/`prev`/`cur` are caller-owned
+/// scratch so steady-state calls allocate nothing. Returns d_min, or -1
+/// when the problem is unsolvable within the level cap (or m is out of
+/// range for the bitvector width).
+template <int NW, class Counter>
+int solveDistanceTwoRow(std::string_view text_rev, std::string_view pattern_rev,
+                        const WindowSpec& spec,
+                        bitvector::PatternMasks<NW>& masks,
+                        std::vector<bitvector::BitVec<NW>>& prev,
+                        std::vector<bitvector::BitVec<NW>>& cur,
+                        Counter& counter) {
+  using Vec = bitvector::BitVec<NW>;
+  const int n = static_cast<int>(text_rev.size());
+  const int m = static_cast<int>(pattern_rev.size());
+  if (m <= 0 || m > Vec::kBits) return -1;
+  const int k =
+      spec.max_edits >= 0 ? spec.max_edits : autoEditCap(n, m, spec.anchor);
+  const int levels = k + 1;
+
+  masks.assign(pattern_rev);
+  ensureScratch(prev, static_cast<std::size_t>(n) + 1, counter);
+  ensureScratch(cur, static_cast<std::size_t>(n) + 1, counter);
+  const std::uint64_t work_bytes =
+      std::uint64_t(2) * (n + 1) * sizeof(Vec);
+  counter.alloc(work_bytes);
+  counter.problem();
+
+  int dmin = -1;
+  int computed_levels = 0;
+  for (int d = 0; d < levels && dmin < 0; ++d) {
+    computed_levels = d + 1;
+    cur[0] = Vec::onesAbove(d);
+    counter.store(NW);
+    for (int i = 1; i <= n; ++i) {
+      const Vec& pm = masks.forChar(text_rev[i - 1]);
+      Vec r = cur[i - 1].shl1(shiftInOne(spec.anchor, i - 1, d)) | pm;
+      if (d > 0) {
+        counter.load(NW);  // prev[i]; the rest is register-carried
+        r = r & prev[i - 1].shl1(shiftInOne(spec.anchor, i - 1, d - 1)) &
+            prev[i - 1] &
+            prev[i].shl1(shiftInOne(spec.anchor, i, d - 1));
+      }
+      cur[i] = r;
+      counter.store(NW);
+      counter.entry();
+    }
+    counter.load(NW);
+    if (!cur[n].bit(m - 1)) {
+      dmin = d;
+    } else {
+      std::swap(prev, cur);
+    }
+  }
+  counter.wavefront(static_cast<std::uint64_t>(n) + computed_levels);
+  counter.free(work_bytes);
+  return dmin;
 }
 
 }  // namespace gx::genasm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <utility>
 
 #include "genasmx/common/sequence.hpp"
@@ -29,6 +30,59 @@ int computeMapq(std::uint64_t s1, std::uint64_t s2, int cap) {
   return std::clamp(mapq, 0, cap);
 }
 
+/// The distance-based analogue for the primary-only flow: d1/d2 are the
+/// best and second-best candidate edit distances (-1 = absent). Smaller
+/// is better; confidence saturates at the full cap once the runner-up
+/// has twice the winner's distance. The saturation is what makes capped
+/// scoring cheap: any candidate with distance > 2*d1 yields the exact
+/// same MAPQ as "no runner-up", so phase 1 may discard it mid-march
+/// without ever knowing its true distance.
+int computeMapqFromDistances(int d1, int d2, int cap) {
+  if (d1 < 0) return 0;
+  if (d2 < 0) return cap;  // no runner-up at all
+  if (d2 <= d1) return 0;  // indistinguishable (covers d1 == d2 == 0)
+  const double frac =
+      2.0 * (1.0 - static_cast<double>(d1) / static_cast<double>(d2));
+  return std::clamp(static_cast<int>(std::lround(cap * std::min(frac, 1.0))),
+                    0, cap);
+}
+
+/// Best / second-best tracking over candidates in chain order. The same
+/// update rule runs in both the two-phase (capped distances) and the
+/// single-phase (edits from full CIGARs) primary-only flows, so the two
+/// flows pick identical winners and MAPQs by construction: a candidate
+/// whose distance exceeds the running second-best can change neither.
+struct Pick {
+  int cand = -1;  ///< winning candidate index (chain order), -1 = none
+  int d1 = -1;    ///< winner's edit distance
+  int d2 = -1;    ///< runner-up's edit distance, -1 = none
+
+  void update(int c, int d) {
+    if (cand < 0 || d < d1) {
+      d2 = d1;
+      d1 = d;
+      cand = c;
+    } else if (d2 < 0 || d < d2) {
+      d2 = d;
+    }
+  }
+
+  /// Largest distance that could still change the emitted record. A
+  /// candidate must beat the winner (>= d1 matters for the tie that
+  /// zeroes MAPQ), and as a runner-up it only matters below the MAPQ
+  /// saturation point min(d2, 2*d1) — beyond that both flows emit the
+  /// full cap either way, so the capped scorer may return -1 without
+  /// affecting byte-identity with the uncapped single-phase flow.
+  [[nodiscard]] int scoreCap() const {
+    if (cand < 0) return -1;
+    long long c = 2LL * d1;
+    if (d2 >= 0 && d2 < c) c = d2;
+    if (c < d1) c = d1;
+    return static_cast<int>(
+        std::min<long long>(c, std::numeric_limits<int>::max()));
+  }
+};
+
 PipelineStats operator-(const PipelineStats& a, const PipelineStats& b) {
   PipelineStats d;
   d.reads = a.reads - b.reads;
@@ -38,6 +92,62 @@ PipelineStats operator-(const PipelineStats& a, const PipelineStats& b) {
   d.records = a.records - b.records;
   return d;
 }
+
+/// Shared PAF-record construction for both flows.
+struct RecordBuilder {
+  const std::string& target_name;
+  const std::string& genome;
+  PipelineStats& stats;
+  std::vector<io::PafRecord>& out;
+
+  io::PafRecord base(const io::FastxRecord& read,
+                     const mapper::Candidate& cand) const {
+    io::PafRecord rec;
+    rec.query_name = read.name;
+    rec.query_len = read.seq.size();
+    rec.reverse = cand.reverse;
+    rec.target_name = target_name;
+    rec.target_len = genome.size();
+    return rec;
+  }
+
+  // Oriented query span -> forward-read PAF coordinates.
+  static void setQuerySpan(io::PafRecord& rec, const io::FastxRecord& read,
+                           std::size_t qb, std::size_t qe) {
+    rec.query_begin = rec.reverse ? read.seq.size() - qe : qb;
+    rec.query_end = rec.reverse ? read.seq.size() - qb : qe;
+  }
+
+  /// CIGAR-less record from the best chain, so a read whose candidates
+  /// all fail to align is not silently dropped (mapq 0, no cg:Z:).
+  void emitChainOnly(const io::FastxRecord& read,
+                     const mapper::Candidate& cand) {
+    io::PafRecord rec = base(read, cand);
+    setQuerySpan(rec, read, cand.read_begin, cand.read_end);
+    rec.target_begin = cand.ref_begin;
+    rec.target_end = cand.ref_end;
+    rec.mapq = 0;
+    out.push_back(std::move(rec));
+    ++stats.records;
+  }
+
+  void emitAligned(const io::FastxRecord& read, const mapper::Candidate& cand,
+                   const common::AlignmentResult& res, int mapq) {
+    io::PafRecord rec = base(read, cand);
+    // A window-global alignment pays the candidate window's slack as
+    // boundary indels; trim them so the PAF span is the aligned core.
+    auto trim = common::trimIndelEnds(res.cigar);
+    rec.cigar = std::move(trim.cigar);
+    const std::size_t qb = trim.query_lead;
+    setQuerySpan(rec, read, qb, qb + rec.cigar.queryLength());
+    rec.target_begin = cand.ref_begin + trim.target_lead;
+    rec.target_end = rec.target_begin + rec.cigar.targetLength();
+    rec.mapq = mapq;
+    io::finalizeFromCigar(rec);
+    out.push_back(std::move(rec));
+    ++stats.records;
+  }
+};
 
 }  // namespace
 
@@ -72,7 +182,139 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
         }
       });
 
-  // Stage 2 — flatten every read's candidates into one engine batch.
+  const auto targetView = [&](const mapper::Candidate& c) {
+    return genome_view.substr(c.ref_begin, c.ref_end - c.ref_begin);
+  };
+  const auto queryView = [&](std::size_t i, const mapper::Candidate& c) {
+    return c.reverse ? std::string_view(work[i].rc)
+                     : std::string_view(reads[i].seq);
+  };
+
+  std::vector<io::PafRecord> out;
+  RecordBuilder builder{target_name_, genome, stats_, out};
+
+  if (!cfg_.emit_secondary) {
+    // ------------------------------------------- primary-only flow
+    // Ranking and MAPQ come from edit distances (chain order breaks
+    // ties), so phase 1 never needs a CIGAR and only the winner is ever
+    // traceback-aligned.
+    std::vector<Pick> picks(reads.size());
+    std::vector<common::AlignmentResult> aligned;
+    constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> widx(reads.size(), kNone);
+
+    if (cfg_.two_phase) {
+      // Phase 1 — parallel over reads. The chain-best candidate (the
+      // winner for almost every read) is fully aligned once and its
+      // result cached; every further candidate is distance-scored in
+      // chain order with Pick::scoreCap() as the cap, so a candidate
+      // provably unable to change the emitted record aborts its window
+      // march as soon as its committed edits blow the cap.
+      std::vector<common::AlignmentResult> chain_best(reads.size());
+      engine_.pool().parallel_for(
+          reads.size(), [&](std::size_t begin, std::size_t end) {
+            engine::AlignmentEngine::AlignerLease aligner(engine_);
+            for (std::size_t i = begin; i < end; ++i) {
+              Pick& p = picks[i];
+              const auto& cands = work[i].cands;
+              for (std::size_t c = 0; c < cands.size(); ++c) {
+                const auto target = targetView(cands[c]);
+                const auto query = queryView(i, cands[c]);
+                if (c == 0) {
+                  chain_best[i] = aligner->align(target, query);
+                  if (chain_best[i].ok) {
+                    p.update(0, static_cast<int>(
+                                    chain_best[i].cigar.editDistance()));
+                  }
+                  continue;
+                }
+                const int d = aligner->distance(target, query, p.scoreCap());
+                if (d >= 0) p.update(static_cast<int>(c), d);
+              }
+            }
+          });
+      // Phase 2 — a traceback alignment only for winners that are not
+      // the cached chain-best candidate.
+      std::vector<engine::AlignmentTask> winner_tasks;
+      std::vector<std::size_t> winner_reads;
+      for (std::size_t i = 0; i < reads.size(); ++i) {
+        if (picks[i].cand <= 0) continue;  // none, or cached chain-best
+        const auto& cand = work[i].cands[static_cast<std::size_t>(
+            picks[i].cand)];
+        winner_reads.push_back(i);
+        winner_tasks.push_back({targetView(cand), queryView(i, cand)});
+      }
+      aligned = engine_.alignBatch(winner_tasks);
+      // Fold: cached chain-best winners append after the batch results.
+      for (std::size_t k = 0; k < winner_reads.size(); ++k) {
+        widx[winner_reads[k]] = k;
+      }
+      for (std::size_t i = 0; i < reads.size(); ++i) {
+        if (picks[i].cand == 0) {
+          widx[i] = aligned.size();
+          aligned.push_back(std::move(chain_best[i]));
+        }
+      }
+    } else {
+      // Single-phase comparator: full-align every candidate, then score
+      // by the same edit-distance rule. Byte-identical output to the
+      // two-phase flow (tests pin this).
+      std::vector<std::size_t> offset(reads.size() + 1, 0);
+      for (std::size_t i = 0; i < reads.size(); ++i) {
+        offset[i + 1] = offset[i] + work[i].cands.size();
+      }
+      std::vector<engine::AlignmentTask> tasks;
+      tasks.reserve(offset.back());
+      for (std::size_t i = 0; i < reads.size(); ++i) {
+        for (const auto& c : work[i].cands) {
+          tasks.push_back({targetView(c), queryView(i, c)});
+        }
+      }
+      aligned = engine_.alignBatch(tasks);
+      for (std::size_t i = 0; i < reads.size(); ++i) {
+        for (std::size_t c = 0; c < work[i].cands.size(); ++c) {
+          const auto& res = aligned[offset[i] + c];
+          if (!res.ok) continue;
+          picks[i].update(static_cast<int>(c),
+                          static_cast<int>(res.cigar.editDistance()));
+        }
+        if (picks[i].cand >= 0) {
+          widx[i] = offset[i] + static_cast<std::size_t>(picks[i].cand);
+        }
+      }
+    }
+
+    // Stage 3 — serial emission in input order.
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      const auto& cands = work[i].cands;
+      ++stats_.reads;
+      if (cands.empty()) {
+        ++stats_.unmapped_reads;
+        continue;
+      }
+      stats_.candidates += cands.size();
+      const Pick& p = picks[i];
+      if (p.cand < 0) {
+        builder.emitChainOnly(reads[i], cands[0]);
+      } else {
+        const auto& res = aligned[widx[i]];
+        const auto& cand = cands[static_cast<std::size_t>(p.cand)];
+        if (res.ok) {
+          builder.emitAligned(reads[i], cand, res,
+                              computeMapqFromDistances(p.d1, p.d2,
+                                                       cfg_.mapq_cap));
+        } else {
+          builder.emitChainOnly(reads[i], cand);  // defensive; see tests
+        }
+      }
+      ++stats_.mapped_reads;
+    }
+    return out;
+  }
+
+  // ------------------------------------- secondary-emitting flow
+  // Every record needs a CIGAR anyway, so a distance phase would be pure
+  // overhead: flatten every read's candidates into one engine batch.
   // Targets are views into the genome, queries views into the read (or
   // its cached reverse complement): no window text is copied.
   std::vector<std::size_t> offset(reads.size() + 1, 0);
@@ -83,17 +325,13 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   tasks.reserve(offset.back());
   for (std::size_t i = 0; i < reads.size(); ++i) {
     for (const auto& c : work[i].cands) {
-      tasks.push_back(
-          {genome_view.substr(c.ref_begin, c.ref_end - c.ref_begin),
-           c.reverse ? std::string_view(work[i].rc)
-                     : std::string_view(reads[i].seq)});
+      tasks.push_back({targetView(c), queryView(i, c)});
     }
   }
   const auto results = engine_.alignBatch(tasks);
 
-  // Stage 3 — fold results back per read, pick the primary, score MAPQ,
-  // and emit (serial, so output order is input order).
-  std::vector<io::PafRecord> out;
+  // Fold results back per read, pick the primary, score MAPQ, and emit
+  // (serial, so output order is input order).
   for (std::size_t i = 0; i < reads.size(); ++i) {
     const auto& read = reads[i];
     const auto& cands = work[i].cands;
@@ -103,22 +341,6 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       continue;
     }
     stats_.candidates += cands.size();
-
-    auto baseRecord = [&](const mapper::Candidate& cand) {
-      io::PafRecord rec;
-      rec.query_name = read.name;
-      rec.query_len = read.seq.size();
-      rec.reverse = cand.reverse;
-      rec.target_name = target_name_;
-      rec.target_len = genome.size();
-      return rec;
-    };
-    // Oriented query span -> forward-read PAF coordinates.
-    auto setQuerySpan = [&](io::PafRecord& rec, std::size_t qb,
-                            std::size_t qe) {
-      rec.query_begin = rec.reverse ? read.seq.size() - qe : qb;
-      rec.query_end = rec.reverse ? read.seq.size() - qb : qe;
-    };
 
     struct Scored {
       std::size_t cand;
@@ -135,16 +357,8 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     }
 
     if (scored.empty()) {
-      // Every candidate failed to align: report the best chain so the
-      // locus is not silently dropped — CIGAR-less (no cg:Z:), mapq 0.
-      io::PafRecord rec = baseRecord(cands[0]);
-      setQuerySpan(rec, cands[0].read_begin, cands[0].read_end);
-      rec.target_begin = cands[0].ref_begin;
-      rec.target_end = cands[0].ref_end;
-      rec.mapq = 0;
-      out.push_back(std::move(rec));
+      builder.emitChainOnly(read, cands[0]);
       ++stats_.mapped_reads;
-      ++stats_.records;
       continue;
     }
 
@@ -164,27 +378,11 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     const int primary_mapq =
         computeMapq(scored[best].matches, second, cfg_.mapq_cap);
 
-    auto emitAligned = [&](const Scored& s, int mapq) {
-      const auto& cand = cands[s.cand];
-      io::PafRecord rec = baseRecord(cand);
-      // A window-global alignment pays the candidate window's slack as
-      // boundary indels; trim them so the PAF span is the aligned core.
-      auto trim = common::trimIndelEnds(s.res->cigar);
-      rec.cigar = std::move(trim.cigar);
-      const std::size_t qb = trim.query_lead;
-      setQuerySpan(rec, qb, qb + rec.cigar.queryLength());
-      rec.target_begin = cand.ref_begin + trim.target_lead;
-      rec.target_end = rec.target_begin + rec.cigar.targetLength();
-      rec.mapq = mapq;
-      io::finalizeFromCigar(rec);
-      out.push_back(std::move(rec));
-      ++stats_.records;
-    };
-
-    emitAligned(scored[best], primary_mapq);
-    if (cfg_.emit_secondary) {
-      for (std::size_t k = 0; k < scored.size(); ++k) {
-        if (k != best) emitAligned(scored[k], 0);
+    builder.emitAligned(read, cands[scored[best].cand], *scored[best].res,
+                        primary_mapq);
+    for (std::size_t k = 0; k < scored.size(); ++k) {
+      if (k != best) {
+        builder.emitAligned(read, cands[scored[k].cand], *scored[k].res, 0);
       }
     }
     ++stats_.mapped_reads;

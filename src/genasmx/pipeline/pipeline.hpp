@@ -12,6 +12,12 @@
 // passed as views into the genome, never copied), then folds the results
 // back per read. Output is deterministic — byte-identical PAF for any
 // thread count.
+//
+// Primary-only mapping runs a two-phase score-then-traceback flow:
+// candidates are first distance-scored (no row persistence bookkeeping in
+// the output, exact capped scoring against the running second-best), and
+// only the winning candidate pays for a traceback alignment — MAPQ needs
+// nothing beyond the best and second-best distances.
 
 #include <cstddef>
 #include <iosfwd>
@@ -34,7 +40,17 @@ struct PipelineConfig {
   /// Reads mapped + aligned per streaming batch.
   std::size_t batch_reads = 256;
   /// Emit non-primary alignments (mapq 0) in addition to the primary.
+  /// Every emitted record needs a CIGAR, so this flow full-aligns all
+  /// candidates and ranks by match count (the original behaviour, byte
+  /// for byte). Primary-only mapping instead ranks by edit distance and
+  /// can use the two-phase flow below.
   bool emit_secondary = true;
+  /// Primary-only fast path: phase 1 distance-scores every candidate
+  /// (exact, capped at the running second-best, so hopeless candidates
+  /// abort their window march early), phase 2 runs one full traceback
+  /// alignment for the winner. Emits byte-identical PAF to the
+  /// single-phase primary-only flow; ignored when emit_secondary is set.
+  bool two_phase = true;
   /// MAPQ ceiling (minimap2 convention).
   int mapq_cap = 60;
 };

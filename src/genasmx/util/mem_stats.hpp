@@ -19,8 +19,14 @@ struct MemStats {
   std::uint64_t dp_loads = 0;    ///< bitvector / cell words read
   // Footprint accounting.
   std::uint64_t bytes_allocated = 0;  ///< total DP bytes requested
+  std::uint64_t bytes_freed = 0;      ///< total DP bytes released
   std::uint64_t bytes_peak = 0;       ///< high-water mark of live DP bytes
   std::uint64_t problems = 0;         ///< number of window problems folded in
+  // Scratch-arena accounting: heap growth events of the solvers' reusable
+  // buffers. Steady state (warm arena, stable window geometry) must be 0
+  // — the perf harness records this per window.
+  std::uint64_t scratch_allocs = 0;  ///< arena grow events (heap reallocs)
+  std::uint64_t scratch_bytes = 0;   ///< bytes added by arena growth
   // Work-shape accounting consumed by the GPU performance model.
   std::uint64_t dp_entries = 0;       ///< DP entries actually computed
   std::uint64_t wavefront_steps = 0;  ///< dependency chain length (columns +
@@ -30,12 +36,21 @@ struct MemStats {
     return dp_stores + dp_loads;
   }
 
+  /// Alloc/free symmetry: every solve must release exactly the logical DP
+  /// bytes it claimed. Tests assert this after each solver entry point.
+  [[nodiscard]] bool balanced() const noexcept {
+    return bytes_allocated == bytes_freed;
+  }
+
   MemStats& operator+=(const MemStats& o) noexcept {
     dp_stores += o.dp_stores;
     dp_loads += o.dp_loads;
     bytes_allocated += o.bytes_allocated;
+    bytes_freed += o.bytes_freed;
     if (o.bytes_peak > bytes_peak) bytes_peak = o.bytes_peak;
     problems += o.problems;
+    scratch_allocs += o.scratch_allocs;
+    scratch_bytes += o.scratch_bytes;
     dp_entries += o.dp_entries;
     wavefront_steps += o.wavefront_steps;
     return *this;
@@ -52,6 +67,7 @@ struct NullMemCounter {
   void problem() noexcept {}
   void entry(std::uint64_t = 1) noexcept {}
   void wavefront(std::uint64_t) noexcept {}
+  void scratch(std::uint64_t) noexcept {}
 };
 
 /// Counting policy: accumulates into a MemStats plus tracks live bytes for
@@ -69,12 +85,17 @@ class CountingMemCounter {
     if (live_ > sink_->bytes_peak) sink_->bytes_peak = live_;
   }
   void free(std::uint64_t bytes) noexcept {
+    sink_->bytes_freed += bytes;
     live_ = (bytes > live_) ? 0 : live_ - bytes;
   }
   void problem() noexcept { ++sink_->problems; }
   void entry(std::uint64_t n = 1) noexcept { sink_->dp_entries += n; }
   void wavefront(std::uint64_t steps) noexcept {
     sink_->wavefront_steps += steps;
+  }
+  void scratch(std::uint64_t bytes) noexcept {
+    ++sink_->scratch_allocs;
+    sink_->scratch_bytes += bytes;
   }
 
  private:

@@ -174,6 +174,46 @@ TEST(MappingPipeline, PrimaryOnlyEmitsAtMostOneRecordPerRead) {
   EXPECT_EQ(records.size(), pipe.stats().mapped_reads);
 }
 
+// The two-phase (distance-score then single traceback) flow must emit
+// byte-identical PAF to the single-phase full-alignment flow — the
+// acceptance bar for the distance-first restructuring — at 1 and 8
+// threads, over a repeat-rich genome so reads carry competing candidates.
+TEST(MappingPipeline, TwoPhasePafIsByteIdenticalToSinglePhase) {
+  readsim::GenomeConfig gcfg;
+  gcfg.length = 200'000;
+  gcfg.seed = 67;
+  gcfg.repeat_fraction = 0.30;  // force multi-candidate reads
+  gcfg.repeat_unit = 1'500;
+  gcfg.repeat_divergence = 0.02;
+  const auto genome = readsim::generateGenome(gcfg);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(40, 2'000);
+  rcfg.seed = 71;
+  const auto fastx = toFastx(readsim::simulateReads(genome, rcfg));
+  std::ostringstream fq;
+  io::writeFastx(fq, fastx);
+
+  auto run = [&](bool two_phase, std::size_t threads) {
+    PipelineConfig cfg;
+    cfg.emit_secondary = false;
+    cfg.two_phase = two_phase;
+    cfg.engine.threads = threads;
+    cfg.batch_reads = 11;
+    MappingPipeline pipe("ref", std::string(genome), cfg);
+    std::istringstream in(fq.str());
+    std::ostringstream out;
+    io::PafWriter writer(out);
+    const auto stats = pipe.run(in, writer);
+    EXPECT_EQ(stats.reads, fastx.size());
+    return out.str();
+  };
+
+  const std::string single1 = run(false, 1);
+  ASSERT_FALSE(single1.empty());
+  EXPECT_EQ(single1, run(true, 1));
+  EXPECT_EQ(single1, run(true, 8));
+  EXPECT_EQ(single1, run(false, 8));
+}
+
 TEST(MappingPipeline, UnknownBackendThrows) {
   PipelineConfig cfg;
   cfg.engine.backend = "no-such-backend";

@@ -13,7 +13,10 @@
 //   --batch N              reads per streaming batch (default 256)
 //   --window W --overlap O window geometry (GenASM backends)
 //   --paf FILE             write PAF to FILE instead of stdout
-//   --primary-only         suppress secondary (mapq 0) records
+//   --primary-only         suppress secondary (mapq 0) records; enables
+//                          the two-phase distance-first fast path
+//   --single-phase         disable the two-phase fast path (A/B testing;
+//                          output is byte-identical either way)
 //   --list-backends        print registered backends and exit
 
 #include <cerrno>
@@ -45,6 +48,7 @@ struct Options {
   int window = 64;
   int overlap = 24;
   bool primary_only = false;
+  bool single_phase = false;
   bool list_backends = false;
 };
 
@@ -104,6 +108,7 @@ bool parseArgs(int argc, char** argv, Options& opt) {
     } else if (const char* v = value_of("--paf")) opt.paf_path = v;
     else if (missing_value) return false;
     else if (arg == "--primary-only") opt.primary_only = true;
+    else if (arg == "--single-phase") opt.single_phase = true;
     else if (arg == "--list-backends") opt.list_backends = true;
     else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -131,7 +136,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: genasmx_map <reference.fa> <reads.fa|fq> [--backend NAME] "
         "[--threads N] [--max-candidates N] [--batch N] [--window W] "
-        "[--overlap O] [--paf FILE] [--primary-only] [--list-backends]\n");
+        "[--overlap O] [--paf FILE] [--primary-only] [--single-phase] "
+        "[--list-backends]\n");
     return 2;
   }
   auto& registry = engine::AlignerRegistry::instance();
@@ -179,6 +185,7 @@ int main(int argc, char** argv) {
   cfg.max_candidates = opt.max_candidates;
   cfg.batch_reads = opt.batch;
   cfg.emit_secondary = !opt.primary_only;
+  cfg.two_phase = !opt.single_phase;
 
   std::unique_ptr<pipeline::MappingPipeline> pipe;
   try {
@@ -208,6 +215,7 @@ int main(int argc, char** argv) {
   std::ostream& paf_out = opt.paf_path.empty() ? std::cout : paf_file;
 
   pipeline::PipelineStats stats;
+  util::Timer map_timer;
   try {
     io::PafWriter writer(paf_out);
     stats = pipe->run(reads_in, writer);
@@ -215,10 +223,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  const double map_seconds = map_timer.seconds();
   std::fprintf(stderr,
                "[%.2fs] %zu reads: %zu mapped, %zu unmapped; %zu candidates "
-               "aligned, %zu PAF records\n",
+               "aligned, %zu PAF records (%.1f reads/s)\n",
                timer.seconds(), stats.reads, stats.mapped_reads,
-               stats.unmapped_reads, stats.candidates, stats.records);
+               stats.unmapped_reads, stats.candidates, stats.records,
+               map_seconds > 0 ? static_cast<double>(stats.reads) / map_seconds
+                               : 0.0);
   return 0;
 }
