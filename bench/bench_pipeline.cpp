@@ -25,8 +25,11 @@
 #include "genasmx/core/windowed.hpp"
 #include "genasmx/engine/registry.hpp"
 #include "genasmx/io/paf.hpp"
+#include "genasmx/mapper/index.hpp"
 #include "genasmx/pipeline/pipeline.hpp"
+#include "genasmx/refmodel/reference.hpp"
 #include "genasmx/util/stats.hpp"
+#include "genasmx/util/thread_pool.hpp"
 #include "genasmx/util/timer.hpp"
 
 namespace {
@@ -134,6 +137,41 @@ int runTracked(bench::WorkloadConfig cfg) {
                                 windows
                           : 0);
 
+  // --- index build: serial vs per-contig-parallel over a contig table
+  // (the tracked genome sliced into 8 contigs, the multi-contig shape
+  // real references have).
+  refmodel::Reference bench_ref;
+  constexpr std::size_t kContigs = 8;
+  const std::size_t slice = w.genome.size() / kContigs;
+  for (std::size_t c = 0; c < kContigs; ++c) {
+    const std::size_t begin = c * slice;
+    const std::size_t len =
+        c + 1 == kContigs ? w.genome.size() - begin : slice;
+    std::string name = "bench_ctg_";
+    name += std::to_string(c);
+    bench_ref.addContig(std::move(name),
+                        std::string_view(w.genome).substr(begin, len));
+  }
+  mapper::MinimizerIndex serial_index, parallel_index;
+  util::Timer t_serial;
+  serial_index.build(bench_ref, 15, 10, 64, nullptr);
+  const double index_serial_seconds = t_serial.seconds();
+  util::ThreadPool index_pool;  // hardware concurrency
+  util::Timer t_parallel;
+  parallel_index.build(bench_ref, 15, 10, 64, &index_pool);
+  const double index_parallel_seconds = t_parallel.seconds();
+  if (!(serial_index == parallel_index)) {
+    std::fprintf(stderr, "parallel index build diverged from serial\n");
+    return 1;
+  }
+  const double index_speedup =
+      index_parallel_seconds > 0 ? index_serial_seconds / index_parallel_seconds
+                                 : 0;
+  std::printf("index build (%zu contigs, %zu minimizers): serial %.3fs, "
+              "parallel %.3fs on %zu threads (%.2fx)\n",
+              kContigs, serial_index.size(), index_serial_seconds,
+              index_parallel_seconds, index_pool.size(), index_speedup);
+
   // --- pipeline flows.
   const FlowTiming full = timeFlow(w.genome, reads, true, false);
   const FlowTiming single = timeFlow(w.genome, reads, false, false);
@@ -182,6 +220,13 @@ int runTracked(bench::WorkloadConfig cfg) {
           .num("records", static_cast<std::uint64_t>(ft.records));
       return o;
     };
+    bench::JsonObject index_build;
+    index_build.num("contigs", static_cast<std::uint64_t>(kContigs))
+        .num("minimizers", static_cast<std::uint64_t>(serial_index.size()))
+        .num("serial_seconds", index_serial_seconds)
+        .num("parallel_seconds", index_parallel_seconds)
+        .num("pool_threads", static_cast<std::uint64_t>(index_pool.size()))
+        .num("speedup_parallel_vs_serial", index_speedup);
     bench::JsonObject root;
     root.str("bench", "pipeline")
         .str("mode", "quick")
@@ -189,6 +234,7 @@ int runTracked(bench::WorkloadConfig cfg) {
         .num("threads", 1)
         .obj("workload", workload)
         .obj("aligner", aligner)
+        .obj("index_build", index_build)
         .obj("pipeline_full", flow(full))
         .obj("pipeline_primary_single_phase", flow(single))
         .obj("pipeline_primary_two_phase", flow(two))

@@ -29,6 +29,7 @@ std::vector<Chain> chainAnchors(std::vector<Anchor> anchors,
                               anchors[j].ref_pos;
       const std::int64_t dq = static_cast<std::int64_t>(anchors[i].read_pos) -
                               anchors[j].read_pos;
+      if (anchors[i].contig != anchors[j].contig) continue;
       if (dr <= 0 || dq <= 0) continue;
       if (dr > params.max_gap || dq > params.max_gap) continue;
       const double gap_cost =
@@ -80,6 +81,7 @@ std::vector<Chain> chainAnchors(std::vector<Anchor> anchors,
     c.read_end = last.read_pos + static_cast<std::uint32_t>(params.kmer);
     c.ref_begin = first.ref_pos;
     c.ref_end = last.ref_pos + static_cast<std::uint32_t>(params.kmer);
+    c.contig = first.contig;
     chains.push_back(c);
   }
   return chains;

@@ -11,7 +11,8 @@ namespace gx::mapper {
 
 struct Anchor {
   std::uint32_t read_pos;
-  std::uint32_t ref_pos;
+  std::uint32_t ref_pos;      ///< global (contig-table) coordinate
+  std::uint32_t contig = 0;   ///< contig id; pairs never chain across ids
 };
 
 struct ChainParams {
@@ -25,12 +26,16 @@ struct ChainParams {
 struct Chain {
   double score = 0;
   std::uint32_t read_begin = 0, read_end = 0;  ///< [begin, end) read span
-  std::uint32_t ref_begin = 0, ref_end = 0;    ///< [begin, end) ref span
+  std::uint32_t ref_begin = 0, ref_end = 0;    ///< [begin, end) global ref span
+  std::uint32_t contig = 0;  ///< every member anchor's contig
   int anchors = 0;
 };
 
-/// Chain `anchors` (single strand). Anchors are sorted internally.
-/// Returns all chains with >= min_anchors anchors, best first.
+/// Chain `anchors` (single strand). Anchors are sorted internally; a
+/// chain never links anchors from different contigs, so each emitted
+/// chain lies within one contig (alignments against the nonexistent
+/// sequence "between" contigs cannot arise). Returns all chains with
+/// >= min_anchors anchors, best first.
 [[nodiscard]] std::vector<Chain> chainAnchors(std::vector<Anchor> anchors,
                                               const ChainParams& params);
 

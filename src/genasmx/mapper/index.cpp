@@ -1,42 +1,144 @@
 #include "genasmx/mapper/index.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "genasmx/mapper/minimizer.hpp"
+#include "genasmx/util/thread_pool.hpp"
 
 namespace gx::mapper {
+namespace {
+
+/// One (key, packed value) index entry. Entries are unique — extraction
+/// dedups (key, pos) and global positions are contig-disjoint — so
+/// sorting by the full pair is a total order and every merge schedule
+/// (serial, parallel, any tree shape) yields the same array.
+using Entry = std::pair<std::uint64_t, std::uint64_t>;
+
+std::vector<Entry> extractShard(std::size_t offset, std::string_view text,
+                                int k, int w) {
+  const auto mins = extractMinimizers(text, k, w);
+  std::vector<Entry> entries;
+  entries.reserve(mins.size());
+  for (const Minimizer& m : mins) {
+    const std::uint64_t global = static_cast<std::uint64_t>(offset) + m.pos;
+    entries.emplace_back(m.key, (global << 1) | (m.reverse ? 1 : 0));
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace
+
+void MinimizerIndex::build(const refmodel::Reference& ref, int k, int w,
+                           int max_occ, util::ThreadPool* pool) {
+  std::vector<Span> shards;
+  shards.reserve(ref.contigCount());
+  for (std::uint32_t c = 0; c < ref.contigCount(); ++c) {
+    shards.push_back(Span{ref.contig(c).offset, ref.contigView(c)});
+  }
+  buildShards(shards, k, w, max_occ, pool, &ref);
+}
 
 void MinimizerIndex::build(std::string_view genome, int k, int w,
                            int max_occ) {
+  buildShards({Span{0, genome}}, k, w, max_occ, nullptr, nullptr);
+}
+
+void MinimizerIndex::buildShards(const std::vector<Span>& shards, int k,
+                                 int w, int max_occ, util::ThreadPool* pool,
+                                 const refmodel::Reference* ref_for_stats) {
   k_ = k;
   w_ = w;
-  const auto mins = extractMinimizers(genome, k, w);
-  keys_.resize(mins.size());
-  values_.resize(mins.size());
-  std::vector<std::size_t> order(mins.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return mins[a].key < mins[b].key;
-  });
-  std::size_t out = 0;
+  keys_.clear();
+  values_.clear();
+  per_contig_kept_.assign(shards.size(), 0);
+  if (shards.empty()) return;
+
+  // IndexHit (and the Anchor/Chain types downstream) hold positions in
+  // 32 bits; a reference past 4 Gbp would wrap its coordinates silently,
+  // so refuse it here — the one place every build path funnels through.
+  const std::uint64_t total_bp =
+      static_cast<std::uint64_t>(shards.back().offset) +
+      shards.back().text.size();
+  if (total_bp > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "MinimizerIndex: reference exceeds the 32-bit position space "
+        "(4 Gbp)");
+  }
+
+  // Stage 1 — per-contig extraction + shard sort (parallel over contigs).
+  std::vector<std::vector<Entry>> sorted(shards.size());
+  const auto extract_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      sorted[i] = extractShard(shards[i].offset, shards[i].text, k, w);
+    }
+  };
+  if (pool != nullptr && shards.size() > 1) {
+    pool->parallel_for(shards.size(), extract_range);
+  } else {
+    extract_range(0, shards.size());
+  }
+  // Per-contig stats start at the extraction counts; the cap pass below
+  // subtracts dropped groups, so the common (kept) path never resolves a
+  // position back to its contig.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    per_contig_kept_[i] = sorted[i].size();
+  }
+
+  // Stage 2 — pairwise merge tree. Each round halves the shard count;
+  // merges within a round are independent, so they fan out on the pool.
+  while (sorted.size() > 1) {
+    const std::size_t pairs = sorted.size() / 2;
+    std::vector<std::vector<Entry>> next(pairs + sorted.size() % 2);
+    const auto merge_range = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        std::vector<Entry> merged;
+        merged.resize(sorted[2 * i].size() + sorted[2 * i + 1].size());
+        std::merge(sorted[2 * i].begin(), sorted[2 * i].end(),
+                   sorted[2 * i + 1].begin(), sorted[2 * i + 1].end(),
+                   merged.begin());
+        next[i] = std::move(merged);
+      }
+    };
+    if (pool != nullptr && pairs > 1) {
+      pool->parallel_for(pairs, merge_range);
+    } else {
+      merge_range(0, pairs);
+    }
+    if (sorted.size() % 2 != 0) {
+      next.back() = std::move(sorted.back());
+    }
+    sorted = std::move(next);
+  }
+  const std::vector<Entry>& merged = sorted.front();
+
+  // Stage 3 — occurrence cap + emission (serial linear pass).
+  keys_.reserve(merged.size());
+  values_.reserve(merged.size());
   std::size_t i = 0;
-  while (i < order.size()) {
+  while (i < merged.size()) {
     std::size_t j = i;
-    while (j < order.size() && mins[order[j]].key == mins[order[i]].key) ++j;
+    while (j < merged.size() && merged[j].first == merged[i].first) ++j;
     if (j - i <= static_cast<std::size_t>(max_occ)) {
       for (std::size_t t = i; t < j; ++t) {
-        const Minimizer& m = mins[order[t]];
-        keys_[out] = m.key;
-        values_[out] =
-            (static_cast<std::uint64_t>(m.pos) << 1) | (m.reverse ? 1 : 0);
-        ++out;
+        keys_.push_back(merged[t].first);
+        values_.push_back(merged[t].second);
+      }
+    } else {
+      // Capped out: charge the drop back to each entry's contig. Only
+      // over-represented (repeat) keys pay the O(log C) resolution.
+      for (std::size_t t = i; t < j; ++t) {
+        const std::size_t pos = static_cast<std::size_t>(merged[t].second >> 1);
+        const std::size_t c =
+            ref_for_stats != nullptr ? ref_for_stats->contigOf(pos) : 0;
+        --per_contig_kept_[c];
       }
     }
     i = j;
   }
-  keys_.resize(out);
-  values_.resize(out);
 }
 
 std::size_t MinimizerIndex::distinctKeys() const noexcept {

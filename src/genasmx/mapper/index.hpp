@@ -1,19 +1,33 @@
 #pragma once
-// Sorted-array minimizer index over a reference genome (minimap2-style):
-// build once, then O(log N) lookups returning all reference positions of
-// a minimizer. Over-represented minimizers (repeats) are masked with an
+// Sorted-array minimizer index over a multi-contig reference (minimap2-
+// style): build once, then O(log N) lookups returning all reference
+// positions of a minimizer. Positions are global (contig-table)
+// coordinates; extraction runs per contig so no seed ever spans a contig
+// boundary. Over-represented minimizers (repeats) are masked with an
 // occurrence cap, like minimap2's -f filtering.
+//
+// Build is shard-then-merge: each contig's minimizers are extracted and
+// sorted as an independent shard, then shards are pairwise-merged and
+// the occurrence cap applied in one final pass. Handing a ThreadPool to
+// build() fans the shard and merge stages out across workers; the
+// algorithm is identical either way, so the parallel build produces a
+// bit-identical index to the serial one (asserted by tests).
 
 #include <cstdint>
-#include <span>
 #include <string_view>
 #include <vector>
+
+#include "genasmx/refmodel/reference.hpp"
+
+namespace gx::util {
+class ThreadPool;
+}
 
 namespace gx::mapper {
 
 /// Packed index entry value: position << 1 | strand.
 struct IndexHit {
-  std::uint32_t pos;
+  std::uint32_t pos;  ///< global (contig-table) coordinate
   bool reverse;
 };
 
@@ -21,8 +35,16 @@ class MinimizerIndex {
  public:
   MinimizerIndex() = default;
 
-  /// Build over `genome` with minimizer parameters (k, w). Minimizers
-  /// occurring more than max_occ times are dropped.
+  /// Build over `ref` with minimizer parameters (k, w), one extraction
+  /// shard per contig. Minimizers occurring more than max_occ times are
+  /// dropped. A non-null `pool` parallelizes shard extraction/sort and
+  /// the merge tree without changing the result. Throws
+  /// std::invalid_argument for a reference past 4 Gbp (positions are
+  /// stored in 32 bits throughout the mapper stack).
+  void build(const refmodel::Reference& ref, int k, int w, int max_occ,
+             util::ThreadPool* pool = nullptr);
+
+  /// Flat-genome convenience: one anonymous contig, serial build.
   void build(std::string_view genome, int k, int w, int max_occ);
 
   [[nodiscard]] int k() const noexcept { return k_; }
@@ -30,14 +52,39 @@ class MinimizerIndex {
   [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
   [[nodiscard]] std::size_t distinctKeys() const noexcept;
 
-  /// All reference hits of `key` (empty if unknown or masked).
+  /// Kept (post-cap) minimizers per contig, index-aligned with the
+  /// Reference's contig table. One entry for the flat-genome build.
+  [[nodiscard]] const std::vector<std::size_t>& perContigKept()
+      const noexcept {
+    return per_contig_kept_;
+  }
+
+  /// All reference hits of `key` (empty if unknown or masked), in
+  /// ascending global position order.
   [[nodiscard]] std::vector<IndexHit> lookup(std::uint64_t key) const;
 
+  /// Bit-identical comparison over the full sorted arrays — the build-
+  /// determinism contract (parallel == serial) is asserted with this.
+  friend bool operator==(const MinimizerIndex& a,
+                         const MinimizerIndex& b) noexcept {
+    return a.k_ == b.k_ && a.w_ == b.w_ && a.keys_ == b.keys_ &&
+           a.values_ == b.values_ && a.per_contig_kept_ == b.per_contig_kept_;
+  }
+
  private:
+  struct Span {
+    std::size_t offset;     ///< global coordinate of the shard's start
+    std::string_view text;  ///< the contig's sequence
+  };
+  void buildShards(const std::vector<Span>& shards, int k, int w, int max_occ,
+                   util::ThreadPool* pool,
+                   const refmodel::Reference* ref_for_stats);
+
   int k_ = 0;
   int w_ = 0;
   std::vector<std::uint64_t> keys_;    ///< sorted
   std::vector<std::uint64_t> values_;  ///< pos << 1 | strand, same order
+  std::vector<std::size_t> per_contig_kept_;
 };
 
 }  // namespace gx::mapper

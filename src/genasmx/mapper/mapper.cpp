@@ -7,11 +7,15 @@
 
 namespace gx::mapper {
 
-Mapper::Mapper(std::string genome, MapperConfig cfg)
-    : genome_(std::move(genome)), cfg_(cfg) {
+Mapper::Mapper(refmodel::Reference ref, MapperConfig cfg,
+               util::ThreadPool* index_pool)
+    : ref_(std::move(ref)), cfg_(cfg) {
   cfg_.chain.kmer = cfg_.k;
-  index_.build(genome_, cfg_.k, cfg_.w, cfg_.max_occ);
+  index_.build(ref_, cfg_.k, cfg_.w, cfg_.max_occ, index_pool);
 }
+
+Mapper::Mapper(std::string genome, MapperConfig cfg)
+    : Mapper(refmodel::Reference("ref", std::move(genome)), cfg) {}
 
 std::vector<Candidate> Mapper::map(std::string_view read) const {
   std::vector<Candidate> out;
@@ -19,38 +23,43 @@ std::vector<Candidate> Mapper::map(std::string_view read) const {
   if (read_mins.empty()) return out;
 
   // Split anchors by relative strand. For minus-strand anchors, flip the
-  // read coordinate so chaining sees a co-linear picture.
+  // read coordinate so chaining sees a co-linear picture. Anchors carry
+  // their contig id so the chaining DP can reject cross-contig pairs.
   std::vector<Anchor> fwd, rev;
   const std::uint32_t rl = static_cast<std::uint32_t>(read.size());
   for (const auto& m : read_mins) {
     for (const auto& hit : index_.lookup(m.key)) {
+      const std::uint32_t contig = ref_.contigOf(hit.pos);
       const bool opposite = hit.reverse != m.reverse;
       if (!opposite) {
-        fwd.push_back(Anchor{m.pos, hit.pos});
+        fwd.push_back(Anchor{m.pos, hit.pos, contig});
       } else {
-        rev.push_back(
-            Anchor{rl - m.pos - static_cast<std::uint32_t>(cfg_.k), hit.pos});
+        rev.push_back(Anchor{
+            rl - m.pos - static_cast<std::uint32_t>(cfg_.k), hit.pos, contig});
       }
     }
   }
 
   auto emit = [&](std::vector<Anchor> anchors, bool reverse) {
     for (const Chain& c : chainAnchors(std::move(anchors), cfg_.chain)) {
+      const refmodel::Contig& contig = ref_.contig(c.contig);
       Candidate cand;
+      cand.contig = c.contig;
       cand.reverse = reverse;
       cand.score = c.score;
       cand.anchors = c.anchors;
       cand.read_begin = c.read_begin;
       cand.read_end = std::min<std::size_t>(c.read_end, read.size());
       // Extend the chain's reference span by the unchained read flanks
-      // plus a fixed margin, clamped to the genome.
+      // plus a fixed margin, clamped to the chain's contig: a candidate
+      // window never spans a contig boundary.
+      const std::size_t local_begin = c.ref_begin - contig.offset;
+      const std::size_t local_end = c.ref_end - contig.offset;
       const std::size_t left_flank = c.read_begin + cfg_.margin;
       const std::size_t right_flank =
           (read.size() - c.read_end) + cfg_.margin;
-      cand.ref_begin =
-          c.ref_begin > left_flank ? c.ref_begin - left_flank : 0;
-      cand.ref_end = std::min(genome_.size(),
-                              static_cast<std::size_t>(c.ref_end) + right_flank);
+      cand.ref_begin = local_begin > left_flank ? local_begin - left_flank : 0;
+      cand.ref_end = std::min(contig.length, local_end + right_flank);
       out.push_back(cand);
     }
   };

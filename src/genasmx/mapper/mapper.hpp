@@ -1,16 +1,28 @@
 #pragma once
 // End-to-end candidate generation: minimizer seeding + chaining over a
-// reference genome, producing the (read, reference window) pairs the
-// aligners consume. Substitutes "minimap2 with -P" in the paper's
+// multi-contig reference, producing the (read, reference window) pairs
+// the aligners consume. Substitutes "minimap2 with -P" in the paper's
 // methodology (all chains kept, primary and secondary).
+//
+// Coordinate model: the index and the chaining DP run in the Reference's
+// global coordinate space (one sorted anchor array, one index); emitted
+// Candidates are contig-local — they carry a contig id plus [begin, end)
+// offsets within that contig, and their windows are clamped to the
+// contig's bounds so no candidate ever spans a contig boundary.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "genasmx/mapper/chain.hpp"
 #include "genasmx/mapper/index.hpp"
+#include "genasmx/refmodel/reference.hpp"
+
+namespace gx::util {
+class ThreadPool;
+}
 
 namespace gx::mapper {
 
@@ -28,7 +40,8 @@ struct MapperConfig {
 };
 
 struct Candidate {
-  std::size_t ref_begin = 0;  ///< candidate reference window [begin, end)
+  std::uint32_t contig = 0;   ///< contig id in the Reference
+  std::size_t ref_begin = 0;  ///< candidate window [begin, end), contig-local
   std::size_t ref_end = 0;
   /// Chain's query span [begin, end) in *oriented-read* coordinates: for
   /// reverse candidates these index into reverseComplement(read), i.e.
@@ -43,9 +56,21 @@ struct Candidate {
 
 class Mapper {
  public:
-  Mapper(std::string genome, MapperConfig cfg = {});
+  /// Index `ref`. A non-null `index_pool` parallelizes the index build
+  /// per contig (result identical to the serial build).
+  explicit Mapper(refmodel::Reference ref, MapperConfig cfg = {},
+                  util::ThreadPool* index_pool = nullptr);
 
-  [[nodiscard]] const std::string& genome() const noexcept { return genome_; }
+  /// Flat-genome convenience: one contig named "ref".
+  explicit Mapper(std::string genome, MapperConfig cfg = {});
+
+  [[nodiscard]] const refmodel::Reference& reference() const noexcept {
+    return ref_;
+  }
+  /// The concatenated backing buffer (global coordinate space).
+  [[nodiscard]] const std::string& genome() const noexcept {
+    return ref_.backing();
+  }
   [[nodiscard]] const MapperConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const MinimizerIndex& index() const noexcept { return index_; }
 
@@ -54,12 +79,12 @@ class Mapper {
 
   /// The reference text of a candidate window.
   [[nodiscard]] std::string_view candidateText(const Candidate& c) const {
-    return std::string_view(genome_).substr(c.ref_begin,
+    return ref_.contigView(c.contig).substr(c.ref_begin,
                                             c.ref_end - c.ref_begin);
   }
 
  private:
-  std::string genome_;
+  refmodel::Reference ref_;
   MapperConfig cfg_;
   MinimizerIndex index_;
 };

@@ -93,10 +93,12 @@ PipelineStats operator-(const PipelineStats& a, const PipelineStats& b) {
   return d;
 }
 
-/// Shared PAF-record construction for both flows.
+/// Shared PAF-record construction for both flows. Target name, length,
+/// and coordinates are per contig: a candidate carries its contig id and
+/// contig-local window, so no record ever reports the concatenated
+/// reference size or a coordinate past its own contig.
 struct RecordBuilder {
-  const std::string& target_name;
-  const std::string& genome;
+  const refmodel::Reference& ref;
   PipelineStats& stats;
   std::vector<io::PafRecord>& out;
 
@@ -106,8 +108,8 @@ struct RecordBuilder {
     rec.query_name = read.name;
     rec.query_len = read.seq.size();
     rec.reverse = cand.reverse;
-    rec.target_name = target_name;
-    rec.target_len = genome.size();
+    rec.target_name = ref.name(cand.contig);
+    rec.target_len = ref.contig(cand.contig).length;
     return rec;
   }
 
@@ -151,18 +153,19 @@ struct RecordBuilder {
 
 }  // namespace
 
+MappingPipeline::MappingPipeline(refmodel::Reference ref, PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      engine_(cfg_.engine),
+      mapper_(std::move(ref), cfg_.mapper, &engine_.pool()) {}
+
 MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
                                  PipelineConfig cfg)
-    : cfg_(std::move(cfg)),
-      target_name_(std::move(target_name)),
-      mapper_(std::move(genome), cfg_.mapper),
-      engine_(cfg_.engine) {}
+    : MappingPipeline(
+          refmodel::Reference(std::move(target_name), std::move(genome)),
+          std::move(cfg)) {}
 
 std::vector<io::PafRecord> MappingPipeline::mapBatch(
     const std::vector<io::FastxRecord>& reads) {
-  const std::string& genome = mapper_.genome();
-  const auto genome_view = std::string_view(genome);
-
   // Stage 1 — candidate generation, fanned out on the engine's pool.
   std::vector<ReadWork> work(reads.size());
   engine_.pool().parallel_for(
@@ -183,7 +186,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       });
 
   const auto targetView = [&](const mapper::Candidate& c) {
-    return genome_view.substr(c.ref_begin, c.ref_end - c.ref_begin);
+    return mapper_.candidateText(c);  // view into the reference backing
   };
   const auto queryView = [&](std::size_t i, const mapper::Candidate& c) {
     return c.reverse ? std::string_view(work[i].rc)
@@ -191,7 +194,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   };
 
   std::vector<io::PafRecord> out;
-  RecordBuilder builder{target_name_, genome, stats_, out};
+  RecordBuilder builder{mapper_.reference(), stats_, out};
 
   if (!cfg_.emit_secondary) {
     // ------------------------------------------- primary-only flow

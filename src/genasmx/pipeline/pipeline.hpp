@@ -28,6 +28,7 @@
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/io/paf.hpp"
 #include "genasmx/mapper/mapper.hpp"
+#include "genasmx/refmodel/reference.hpp"
 
 namespace gx::pipeline {
 
@@ -65,9 +66,15 @@ struct PipelineStats {
 
 class MappingPipeline {
  public:
-  /// Indexes `genome` (throws what Mapper/AlignmentEngine construction
-  /// throws, e.g. std::invalid_argument for an unknown backend).
-  /// `target_name` is the PAF target-name column.
+  /// Indexes `ref` (throws what Mapper/AlignmentEngine construction
+  /// throws, e.g. std::invalid_argument for an unknown backend). The
+  /// index build is parallelized per contig on the engine's pool; PAF
+  /// records carry each candidate's contig name, length, and contig-
+  /// local coordinates.
+  explicit MappingPipeline(refmodel::Reference ref, PipelineConfig cfg = {});
+
+  /// Flat-genome convenience: a single contig named `target_name` (the
+  /// PAF target-name column).
   MappingPipeline(std::string target_name, std::string genome,
                   PipelineConfig cfg = {});
 
@@ -95,9 +102,8 @@ class MappingPipeline {
 
  private:
   PipelineConfig cfg_;
-  std::string target_name_;
+  engine::AlignmentEngine engine_;  ///< before mapper_: its pool builds the index
   mapper::Mapper mapper_;
-  engine::AlignmentEngine engine_;
   PipelineStats stats_;
 };
 

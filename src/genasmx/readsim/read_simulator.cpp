@@ -7,6 +7,102 @@
 #include "genasmx/util/prng.hpp"
 
 namespace gx::readsim {
+namespace {
+
+/// One sequencing-eligible contig: a view plus the truth-name label.
+struct ContigSpan {
+  const std::string* name;  ///< nullptr for the flat-genome overload
+  std::string_view text;
+};
+
+/// Shared simulation core. The flat overload is the single-span case
+/// with plain read_<i> names; the RNG call sequence is identical either
+/// way, so single-contig references reproduce the flat overload's
+/// origins byte for byte at the same seed.
+std::vector<SimulatedRead> simulateCore(const std::vector<ContigSpan>& contigs,
+                                        const ReadSimConfig& cfg,
+                                        bool encode_truth_in_names) {
+  // Origin sampling: uniform over the union of eligible start positions,
+  // i.e. contigs weighted by their eligible length. The span budget
+  // leaves generous room for deletion-driven overrun, and keeping the
+  // whole budget inside one contig guarantees no read crosses a
+  // boundary.
+  const std::size_t span_budget = cfg.read_length * 2;
+  std::vector<std::size_t> starts(contigs.size(), 0);
+  std::size_t total_starts = 0;
+  for (std::size_t c = 0; c < contigs.size(); ++c) {
+    const std::size_t len = contigs[c].text.size();
+    starts[c] = len > span_budget ? len - span_budget : 0;
+    total_starts += starts[c];
+  }
+  if (total_starts == 0) {
+    throw std::invalid_argument(
+        "simulateReads: no contig long enough for requested read length");
+  }
+
+  util::Xoshiro256 rng(cfg.seed);
+  const ErrorModel& em = cfg.errors;
+  const double mix_total = em.sub_frac + em.ins_frac + em.del_frac;
+  const double p_sub = em.sub_frac / mix_total;
+  const double p_ins = em.ins_frac / mix_total;
+
+  std::vector<SimulatedRead> reads;
+  reads.reserve(cfg.read_count);
+  for (std::size_t r = 0; r < cfg.read_count; ++r) {
+    SimulatedRead read;
+    read.reverse_strand = cfg.both_strands && rng.chance(0.5);
+    const double rate =
+        em.error_rate *
+        (1.0 + em.rate_jitter * (2.0 * rng.uniform01() - 1.0));
+
+    // One draw across all contigs, mapped to (contig, local position).
+    std::size_t pos = rng.below(total_starts);
+    std::uint32_t contig = 0;
+    while (pos >= starts[contig]) {
+      pos -= starts[contig];
+      ++contig;
+    }
+    const std::string_view text = contigs[contig].text;
+    read.origin_contig = contig;
+    read.origin_pos = pos;
+    read.true_edits = 0;
+
+    std::string seq;
+    seq.reserve(cfg.read_length);
+    std::size_t gi = pos;  // contig-local cursor
+    while (seq.size() < cfg.read_length && gi < text.size()) {
+      if (rng.uniform01() < rate) {
+        ++read.true_edits;
+        const double kind = rng.uniform01();
+        if (kind < p_sub) {  // substitution
+          const char base = text[gi++];
+          char next = base;
+          while (next == base) next = common::kBases[rng.below(4)];
+          seq.push_back(next);
+        } else if (kind < p_sub + p_ins) {  // insertion (extra read base)
+          seq.push_back(common::kBases[rng.below(4)]);
+        } else {  // deletion (skip a reference base)
+          ++gi;
+        }
+      } else {
+        seq.push_back(text[gi++]);
+      }
+    }
+    read.origin_len = gi - pos;
+    read.seq = read.reverse_strand ? common::reverseComplement(seq)
+                                   : std::move(seq);
+    read.name = "read_" + std::to_string(r);
+    if (encode_truth_in_names) {
+      read.name += "!" + *contigs[contig].name + "!" +
+                   std::to_string(read.origin_pos) + "!" +
+                   (read.reverse_strand ? "-" : "+");
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+}  // namespace
 
 ReadSimConfig ReadSimConfig::pacbioClr(std::size_t count, std::size_t length) {
   ReadSimConfig cfg;
@@ -34,55 +130,17 @@ std::vector<SimulatedRead> simulateReads(std::string_view genome,
     throw std::invalid_argument(
         "simulateReads: genome too short for requested read length");
   }
-  util::Xoshiro256 rng(cfg.seed);
-  const ErrorModel& em = cfg.errors;
-  const double mix_total = em.sub_frac + em.ins_frac + em.del_frac;
-  const double p_sub = em.sub_frac / mix_total;
-  const double p_ins = em.ins_frac / mix_total;
+  return simulateCore({ContigSpan{nullptr, genome}}, cfg, false);
+}
 
-  std::vector<SimulatedRead> reads;
-  reads.reserve(cfg.read_count);
-  for (std::size_t r = 0; r < cfg.read_count; ++r) {
-    SimulatedRead read;
-    read.name = "read_" + std::to_string(r);
-    read.reverse_strand = cfg.both_strands && rng.chance(0.5);
-    const double rate =
-        em.error_rate *
-        (1.0 + em.rate_jitter * (2.0 * rng.uniform01() - 1.0));
-
-    // Sample an origin leaving generous room for deletion-driven overrun.
-    const std::size_t span_budget = cfg.read_length * 2;
-    const std::size_t pos = rng.below(genome.size() - span_budget);
-    read.origin_pos = pos;
-    read.true_edits = 0;
-
-    std::string seq;
-    seq.reserve(cfg.read_length);
-    std::size_t gi = pos;  // genome cursor
-    while (seq.size() < cfg.read_length && gi < genome.size()) {
-      if (rng.uniform01() < rate) {
-        ++read.true_edits;
-        const double kind = rng.uniform01();
-        if (kind < p_sub) {  // substitution
-          const char base = genome[gi++];
-          char next = base;
-          while (next == base) next = common::kBases[rng.below(4)];
-          seq.push_back(next);
-        } else if (kind < p_sub + p_ins) {  // insertion (extra read base)
-          seq.push_back(common::kBases[rng.below(4)]);
-        } else {  // deletion (skip a genome base)
-          ++gi;
-        }
-      } else {
-        seq.push_back(genome[gi++]);
-      }
-    }
-    read.origin_len = gi - pos;
-    read.seq = read.reverse_strand ? common::reverseComplement(seq)
-                                   : std::move(seq);
-    reads.push_back(std::move(read));
+std::vector<SimulatedRead> simulateReads(const refmodel::Reference& ref,
+                                         const ReadSimConfig& cfg) {
+  std::vector<ContigSpan> contigs;
+  contigs.reserve(ref.contigCount());
+  for (std::uint32_t c = 0; c < ref.contigCount(); ++c) {
+    contigs.push_back(ContigSpan{&ref.name(c), ref.contigView(c)});
   }
-  return reads;
+  return simulateCore(contigs, cfg, true);
 }
 
 }  // namespace gx::readsim

@@ -8,11 +8,19 @@
 // sequencers vary per read); the error type is drawn from the configured
 // substitution/insertion/deletion mix. Defaults follow the PacBio CLR
 // profile PBSIM uses (indel-heavy: 10% errors at roughly 1:6:3 sub:ins:del).
+//
+// Multi-contig references: the Reference overload samples read origins
+// across contigs proportional to each contig's eligible length, never
+// crosses a contig boundary, and encodes the (contig, offset, strand)
+// truth in the read name — read_<i>!<contig>!<pos>!<+|-> — so round-trip
+// mapping accuracy is checkable per contig from a FASTQ alone.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "genasmx/refmodel/reference.hpp"
 
 namespace gx::readsim {
 
@@ -41,15 +49,27 @@ struct ReadSimConfig {
 
 struct SimulatedRead {
   std::string name;
-  std::string seq;            ///< as sequenced (reverse strand: revcomp'd)
-  std::size_t origin_pos;     ///< forward-genome coordinate of the origin
-  std::size_t origin_len;     ///< genome characters the read covers
+  std::string seq;               ///< as sequenced (reverse strand: revcomp'd)
+  std::uint32_t origin_contig = 0;  ///< contig id of the origin
+  std::size_t origin_pos;        ///< contig-local coordinate of the origin
+  std::size_t origin_len;        ///< reference characters the read covers
   bool reverse_strand;
-  std::uint32_t true_edits;   ///< errors injected while sequencing
+  std::uint32_t true_edits;      ///< errors injected while sequencing
 };
 
-/// Simulate cfg.read_count reads from `genome`. Deterministic in cfg.seed.
+/// Simulate cfg.read_count reads from a single flat genome (contig 0,
+/// plain read_<i> names — the pre-multi-contig shape). Deterministic in
+/// cfg.seed. Throws std::invalid_argument if the genome is too short for
+/// the requested read length.
 [[nodiscard]] std::vector<SimulatedRead> simulateReads(
     std::string_view genome, const ReadSimConfig& cfg);
+
+/// Simulate from a multi-contig reference: origins length-proportional
+/// across contigs, boundary-safe, truth-encoding read names (see header
+/// comment). For a single-contig Reference the sampled origins are
+/// identical to the flat overload at the same seed. Throws
+/// std::invalid_argument if no contig is long enough.
+[[nodiscard]] std::vector<SimulatedRead> simulateReads(
+    const refmodel::Reference& ref, const ReadSimConfig& cfg);
 
 }  // namespace gx::readsim

@@ -1,0 +1,72 @@
+#include "genasmx/refmodel/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gx::refmodel {
+
+Reference::Reference(std::string name, std::string seq) {
+  if (seq.empty()) {
+    throw std::invalid_argument("Reference: empty contig '" + name + "'");
+  }
+  Contig c;
+  c.name = std::move(name);
+  c.offset = 0;
+  c.length = seq.size();
+  seq_ = std::move(seq);
+  contigs_.push_back(std::move(c));
+}
+
+void Reference::addContig(std::string name, std::string_view seq) {
+  if (seq.empty()) {
+    throw std::invalid_argument("Reference: empty contig '" + name + "'");
+  }
+  Contig c;
+  c.name = std::move(name);
+  c.offset = seq_.size();
+  c.length = seq.size();
+  seq_.append(seq);
+  contigs_.push_back(std::move(c));
+}
+
+ContigPos Reference::globalToLocal(std::size_t global) const {
+  if (global >= seq_.size()) {
+    throw std::out_of_range("Reference::globalToLocal: position past end");
+  }
+  // Last contig whose offset is <= global: upper_bound on offsets, step
+  // back one. Offsets are strictly increasing (no empty contigs).
+  const auto it = std::upper_bound(
+      contigs_.begin(), contigs_.end(), global,
+      [](std::size_t pos, const Contig& c) { return pos < c.offset; });
+  const std::uint32_t id =
+      static_cast<std::uint32_t>((it - contigs_.begin()) - 1);
+  return ContigPos{id, global - contigs_[id].offset};
+}
+
+std::size_t Reference::localToGlobal(std::uint32_t id,
+                                     std::size_t local) const {
+  const Contig& c = contigs_.at(id);
+  if (local > c.length) {
+    throw std::out_of_range("Reference::localToGlobal: position past contig");
+  }
+  return c.offset + local;
+}
+
+Reference referenceFromFastx(const std::vector<io::FastxRecord>& records) {
+  if (records.empty()) {
+    throw std::invalid_argument("referenceFromFastx: no records");
+  }
+  Reference ref;
+  std::unordered_set<std::string_view> seen;
+  for (const auto& rec : records) {
+    if (!seen.insert(rec.name).second) {
+      throw std::invalid_argument("referenceFromFastx: duplicate contig '" +
+                                  rec.name + "'");
+    }
+    ref.addContig(rec.name, rec.seq);
+  }
+  return ref;
+}
+
+}  // namespace gx::refmodel

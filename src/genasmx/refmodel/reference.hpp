@@ -1,0 +1,95 @@
+#pragma once
+// Multi-contig reference model: a contig table (name, length, global
+// offset) over one contiguous backing buffer, as real references are
+// multi-sequence FASTA files (chromosomes/contigs). Mirrors minimap2's
+// contig-table design: seeding and chaining run in a single global
+// coordinate space (one index, one anchor sort), while everything the
+// user sees — PAF target names, lengths, coordinates — is contig-local.
+// globalToLocal()/localToGlobal() convert between the two in O(log C).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/io/fastx.hpp"
+
+namespace gx::refmodel {
+
+struct Contig {
+  std::string name;
+  std::size_t offset = 0;  ///< start in the backing buffer (global coord)
+  std::size_t length = 0;
+};
+
+/// A global position resolved to its contig.
+struct ContigPos {
+  std::uint32_t contig = 0;
+  std::size_t pos = 0;  ///< contig-local offset
+};
+
+class Reference {
+ public:
+  Reference() = default;
+
+  /// Single-contig convenience (the pre-multi-contig flat-genome shape).
+  Reference(std::string name, std::string seq);
+
+  /// Append a contig. Throws std::invalid_argument for an empty sequence
+  /// (a zero-length contig would alias its successor's global offset).
+  void addContig(std::string name, std::string_view seq);
+
+  [[nodiscard]] std::size_t size() const noexcept { return seq_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return contigs_.empty(); }
+  [[nodiscard]] std::uint32_t contigCount() const noexcept {
+    return static_cast<std::uint32_t>(contigs_.size());
+  }
+  [[nodiscard]] const std::vector<Contig>& contigs() const noexcept {
+    return contigs_;
+  }
+  [[nodiscard]] const Contig& contig(std::uint32_t id) const {
+    return contigs_.at(id);
+  }
+  [[nodiscard]] const std::string& name(std::uint32_t id) const {
+    return contigs_.at(id).name;
+  }
+
+  /// The whole backing buffer (contigs concatenated, global coords).
+  [[nodiscard]] std::string_view view() const noexcept { return seq_; }
+  [[nodiscard]] const std::string& backing() const noexcept { return seq_; }
+
+  /// The text of one contig (a view into the backing buffer).
+  [[nodiscard]] std::string_view contigView(std::uint32_t id) const {
+    const Contig& c = contigs_.at(id);
+    return std::string_view(seq_).substr(c.offset, c.length);
+  }
+
+  /// Resolve a global position to (contig, local offset). O(log C).
+  /// Throws std::out_of_range for global >= size().
+  [[nodiscard]] ContigPos globalToLocal(std::size_t global) const;
+
+  /// Contig id containing a global position. O(log C).
+  [[nodiscard]] std::uint32_t contigOf(std::size_t global) const {
+    return globalToLocal(global).contig;
+  }
+
+  /// (contig, local) -> global coordinate. Throws std::out_of_range for
+  /// an unknown contig or local > length (== length is allowed so
+  /// half-open interval ends convert cleanly).
+  [[nodiscard]] std::size_t localToGlobal(std::uint32_t id,
+                                          std::size_t local) const;
+
+ private:
+  std::string seq_;             ///< all contigs, concatenated
+  std::vector<Contig> contigs_;  ///< offsets strictly increasing
+};
+
+/// Build a Reference from parsed FASTA records (record order preserved).
+/// Throws std::invalid_argument on an empty record set, an empty contig
+/// sequence, or a duplicate contig name (PAF target names must resolve
+/// to one contig).
+[[nodiscard]] Reference referenceFromFastx(
+    const std::vector<io::FastxRecord>& records);
+
+}  // namespace gx::refmodel

@@ -10,7 +10,9 @@
 #include "genasmx/mapper/minimizer.hpp"
 #include "genasmx/readsim/genome.hpp"
 #include "genasmx/readsim/read_simulator.hpp"
+#include "genasmx/refmodel/reference.hpp"
 #include "genasmx/util/prng.hpp"
+#include "genasmx/util/thread_pool.hpp"
 
 namespace gx::mapper {
 namespace {
@@ -227,6 +229,128 @@ TEST(Mapper, BuildAlignmentPairsOrientsQueries) {
     for (const auto& p : pairs) {
       EXPECT_FALSE(p.target.empty());
       EXPECT_EQ(p.query.size(), r.seq.size());
+    }
+  }
+}
+
+// ------------------------------------------------------- multi-contig
+
+refmodel::Reference multiContigRef(std::uint64_t seed = 71) {
+  refmodel::Reference ref;
+  readsim::GenomeConfig gcfg;
+  gcfg.repeat_fraction = 0.05;
+  const std::size_t lens[] = {60'000, 140'000, 90'000};
+  for (std::size_t c = 0; c < 3; ++c) {
+    gcfg.length = lens[c];
+    gcfg.seed = seed + c;
+    ref.addContig("chr" + std::to_string(c + 1),
+                  readsim::generateGenome(gcfg));
+  }
+  return ref;
+}
+
+TEST(Index, ParallelBuildIsIdenticalToSerial) {
+  const auto ref = multiContigRef();
+  MinimizerIndex serial, parallel;
+  serial.build(ref, 15, 10, 64, nullptr);
+  util::ThreadPool pool(4);
+  parallel.build(ref, 15, 10, 64, &pool);
+  EXPECT_TRUE(serial == parallel);
+  EXPECT_GT(serial.size(), 0u);
+  // Shard stats line up with the contig table.
+  ASSERT_EQ(serial.perContigKept().size(), 3u);
+  std::size_t total = 0;
+  for (const std::size_t n : serial.perContigKept()) total += n;
+  EXPECT_EQ(total, serial.size());
+}
+
+TEST(Index, MultiContigBuildNeverEmitsCrossBoundarySeeds) {
+  // Contig-sharded extraction vs flat extraction over the concatenation:
+  // the only missing minimizers must be boundary-window artifacts, and
+  // every kept position must lie >= k inside its own contig's end.
+  const auto ref = multiContigRef(5);
+  MinimizerIndex index;
+  index.build(ref, 15, 10, 1'000'000);
+  for (std::uint32_t c = 0; c < ref.contigCount(); ++c) {
+    const auto mins = extractMinimizers(ref.contigView(c), 15, 10);
+    for (std::size_t i = 0; i < mins.size(); i += 101) {
+      const auto hits = index.lookup(mins[i].key);
+      const std::size_t global = ref.contig(c).offset + mins[i].pos;
+      const bool found =
+          std::any_of(hits.begin(), hits.end(),
+                      [&](const IndexHit& h) { return h.pos == global; });
+      EXPECT_TRUE(found) << "contig " << c << " minimizer " << i;
+    }
+  }
+}
+
+TEST(Chain, CrossContigAnchorsNeverChainTogether) {
+  // Perfectly co-linear anchors in global coordinates, but the second
+  // half belongs to another contig: one chain per contig, never one
+  // spanning both.
+  std::vector<Anchor> anchors;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    anchors.push_back(Anchor{i * 40, 5'000 + i * 40, 0});
+    anchors.push_back(Anchor{(i + 10) * 40, 5'400 + i * 40, 1});
+  }
+  const auto chains = chainAnchors(anchors, ChainParams{});
+  ASSERT_EQ(chains.size(), 2u);
+  for (const auto& c : chains) {
+    EXPECT_EQ(c.anchors, 10);
+    EXPECT_TRUE(c.contig == 0 || c.contig == 1);
+  }
+  EXPECT_NE(chains[0].contig, chains[1].contig);
+}
+
+TEST(Mapper, MultiContigCandidatesStayInBoundsAndFindOrigins) {
+  const auto ref = multiContigRef();
+  Mapper mapper{ref};
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(40, 2'500);
+  rcfg.seed = 3;
+  const auto reads = readsim::simulateReads(ref, rcfg);
+  int located = 0;
+  for (const auto& r : reads) {
+    const auto candidates = mapper.map(r.seq);
+    for (const auto& c : candidates) {
+      // No candidate window ever leaves its contig.
+      ASSERT_LT(c.contig, ref.contigCount());
+      EXPECT_LE(c.ref_end, ref.contig(c.contig).length);
+      EXPECT_LE(c.ref_begin, c.ref_end);
+      EXPECT_EQ(mapper.candidateText(c).size(), c.ref_end - c.ref_begin);
+    }
+    const bool hit = std::any_of(
+        candidates.begin(), candidates.end(), [&](const Candidate& c) {
+          return c.contig == r.origin_contig &&
+                 c.ref_begin < r.origin_pos + r.origin_len &&
+                 r.origin_pos < c.ref_end && c.reverse == r.reverse_strand;
+        });
+    located += hit;
+  }
+  EXPECT_GE(located * 100, static_cast<int>(reads.size()) * 90)
+      << located << " of " << reads.size();
+}
+
+TEST(Mapper, BoundaryReadsMapToTheirOwnContig) {
+  // Exact-copy reads taken flush against every contig boundary: each
+  // must come back as a candidate on its own contig, in bounds.
+  const auto ref = multiContigRef(29);
+  Mapper mapper{ref};
+  const std::size_t rl = 1'200;
+  for (std::uint32_t c = 0; c < ref.contigCount(); ++c) {
+    const auto text = ref.contigView(c);
+    const std::string suffix(text.substr(text.size() - rl));
+    const std::string prefix(text.substr(0, rl));
+    for (const auto& [read, where] :
+         {std::pair{suffix, text.size() - rl}, std::pair{prefix, 0ul}}) {
+      const auto candidates = mapper.map(read);
+      ASSERT_FALSE(candidates.empty()) << "contig " << c;
+      const auto& best = candidates.front();
+      EXPECT_EQ(best.contig, c);
+      EXPECT_FALSE(best.reverse);
+      EXPECT_LE(best.ref_end, ref.contig(c).length);
+      // The window overlaps the true span.
+      EXPECT_LT(best.ref_begin, where + rl);
+      EXPECT_LT(where, best.ref_end);
     }
   }
 }

@@ -16,6 +16,7 @@
 #include "genasmx/pipeline/pipeline.hpp"
 #include "genasmx/readsim/genome.hpp"
 #include "genasmx/readsim/read_simulator.hpp"
+#include "genasmx/refmodel/reference.hpp"
 
 namespace gx::pipeline {
 namespace {
@@ -212,6 +213,134 @@ TEST(MappingPipeline, TwoPhasePafIsByteIdenticalToSinglePhase) {
   EXPECT_EQ(single1, run(true, 1));
   EXPECT_EQ(single1, run(true, 8));
   EXPECT_EQ(single1, run(false, 8));
+}
+
+// ------------------------------------------------------- multi-contig
+
+refmodel::Reference multiContigRef(std::uint64_t seed = 81) {
+  refmodel::Reference ref;
+  readsim::GenomeConfig cfg;
+  cfg.repeat_fraction = 0.05;
+  const std::size_t lens[] = {50'000, 120'000, 80'000};
+  for (std::size_t c = 0; c < 3; ++c) {
+    cfg.length = lens[c];
+    cfg.seed = seed + c;
+    ref.addContig("chr" + std::to_string(c + 1),
+                  readsim::generateGenome(cfg));
+  }
+  return ref;
+}
+
+TEST(MappingPipeline, MultiContigRoundTripRecoversOriginContigs) {
+  const auto ref = multiContigRef();
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(60, 2'000);
+  rcfg.seed = 13;
+  const auto reads = readsim::simulateReads(ref, rcfg);
+  MappingPipeline pipe(ref, PipelineConfig{});
+  const auto records = pipe.mapBatch(toFastx(reads));
+  const auto primary = primaries(records);
+
+  int recovered = 0;
+  for (const auto& r : reads) {
+    const auto it = primary.find(r.name);
+    if (it == primary.end()) continue;
+    const auto& rec = it->second;
+    // Correct contig by name AND overlapping contig-local coordinates.
+    if (rec.target_name != ref.name(r.origin_contig)) continue;
+    const bool overlaps = rec.target_begin < r.origin_pos + r.origin_len &&
+                          r.origin_pos < rec.target_end;
+    if (overlaps && rec.reverse == r.reverse_strand) ++recovered;
+  }
+  // >= 95% of simulated reads map back to their origin contig+span,
+  // matching the single-contig round-trip bar.
+  EXPECT_GE(recovered * 100, static_cast<int>(reads.size()) * 95)
+      << recovered << " of " << reads.size();
+}
+
+// Regression for the concatenation bug: target_len must be the contig's
+// own length (and coordinates inside it), never the summed reference
+// size the old flat model reported for every record.
+TEST(MappingPipeline, TargetLenIsPerContigNotConcatenated) {
+  const auto ref = multiContigRef(91);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(40, 1'800);
+  rcfg.seed = 7;
+  MappingPipeline pipe(ref, PipelineConfig{});
+  const auto records = pipe.mapBatch(toFastx(readsim::simulateReads(ref, rcfg)));
+  ASSERT_FALSE(records.empty());
+  std::map<std::string, std::size_t> contig_len;
+  for (const auto& c : ref.contigs()) contig_len[c.name] = c.length;
+  std::map<std::string, int> per_contig;
+  for (const auto& rec : records) {
+    ASSERT_TRUE(contig_len.count(rec.target_name))
+        << "unknown target " << rec.target_name;
+    EXPECT_EQ(rec.target_len, contig_len[rec.target_name]) << rec.query_name;
+    EXPECT_LT(rec.target_len, ref.size());  // never the concatenation
+    EXPECT_LE(rec.target_end, rec.target_len) << rec.query_name;
+    ++per_contig[rec.target_name];
+  }
+  EXPECT_GE(per_contig.size(), 2u);  // records actually span contigs
+}
+
+TEST(MappingPipeline, BoundaryReadsStayInBoundsOnTheirContig) {
+  // Error-free reads flush against both ends of every contig: each maps
+  // primary to its own contig with coordinates inside that contig.
+  const auto ref = multiContigRef(101);
+  MappingPipeline pipe(ref, PipelineConfig{});
+  std::vector<io::FastxRecord> reads;
+  const std::size_t rl = 1'500;
+  for (std::uint32_t c = 0; c < ref.contigCount(); ++c) {
+    const auto text = ref.contigView(c);
+    io::FastxRecord head, tail;
+    head.name = "head_" + ref.name(c);
+    head.seq = std::string(text.substr(0, rl));
+    tail.name = "tail_" + ref.name(c);
+    tail.seq = std::string(text.substr(text.size() - rl));
+    reads.push_back(std::move(head));
+    reads.push_back(std::move(tail));
+  }
+  const auto primary = primaries(pipe.mapBatch(reads));
+  ASSERT_EQ(primary.size(), reads.size());
+  for (const auto& read : reads) {
+    const auto& rec = primary.at(read.name);
+    const std::string contig = read.name.substr(5);  // strip head_/tail_
+    EXPECT_EQ(rec.target_name, contig) << read.name;
+    EXPECT_LE(rec.target_end, rec.target_len) << read.name;
+    if (read.name.rfind("head_", 0) == 0) {
+      EXPECT_EQ(rec.target_begin, 0u) << read.name;
+    } else {
+      EXPECT_EQ(rec.target_end, rec.target_len) << read.name;
+    }
+  }
+}
+
+TEST(MappingPipeline, MultiContigPafByteIdenticalAcrossThreadsAndFlows) {
+  const auto ref = multiContigRef(111);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(30, 1'500);
+  rcfg.seed = 19;
+  const auto fastx = toFastx(readsim::simulateReads(ref, rcfg));
+  std::ostringstream fq;
+  io::writeFastx(fq, fastx);
+
+  auto run = [&](std::size_t threads, bool emit_secondary, bool two_phase) {
+    PipelineConfig cfg;
+    cfg.engine.threads = threads;
+    cfg.batch_reads = 7;
+    cfg.emit_secondary = emit_secondary;
+    cfg.two_phase = two_phase;
+    MappingPipeline pipe(ref, cfg);
+    std::istringstream in(fq.str());
+    std::ostringstream out;
+    io::PafWriter writer(out);
+    (void)pipe.run(in, writer);
+    return out.str();
+  };
+
+  const std::string full1 = run(1, true, false);
+  ASSERT_FALSE(full1.empty());
+  EXPECT_EQ(full1, run(8, true, false));
+  const std::string single1 = run(1, false, false);
+  EXPECT_EQ(single1, run(1, false, true));
+  EXPECT_EQ(single1, run(8, false, true));
 }
 
 TEST(MappingPipeline, UnknownBackendThrows) {

@@ -7,6 +7,7 @@
 #include "genasmx/readsim/genome.hpp"
 #include "genasmx/readsim/read_simulator.hpp"
 #include "genasmx/refdp/edit_dp.hpp"
+#include "genasmx/refmodel/reference.hpp"
 
 namespace gx::readsim {
 namespace {
@@ -150,6 +151,101 @@ TEST(ReadSim, IlluminaPresetIsSubstitutionDominated) {
 
 TEST(ReadSim, RejectsTinyGenome) {
   EXPECT_THROW(simulateReads("ACGT", ReadSimConfig::pacbioClr(1, 100)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- multi-contig
+
+TEST(ReadSim, MultiContigOriginsNeverCrossBoundaries) {
+  refmodel::Reference ref;
+  readsim::GenomeConfig gcfg;
+  for (std::size_t c = 0; c < 4; ++c) {
+    gcfg.length = 30'000 + c * 20'000;
+    gcfg.seed = 50 + c;
+    ref.addContig("ctg" + std::to_string(c), readsim::generateGenome(gcfg));
+  }
+  auto cfg = ReadSimConfig::pacbioClr(80, 1'000);
+  const auto reads = simulateReads(ref, cfg);
+  ASSERT_EQ(reads.size(), 80u);
+  for (const auto& r : reads) {
+    ASSERT_LT(r.origin_contig, ref.contigCount());
+    // Origin span lies entirely inside its contig.
+    EXPECT_LE(r.origin_pos + r.origin_len,
+              ref.contig(r.origin_contig).length);
+    // The read really comes from that contig-local window.
+    const auto origin =
+        ref.contigView(r.origin_contig).substr(r.origin_pos, r.origin_len);
+    const auto oriented =
+        r.reverse_strand ? common::reverseComplement(r.seq) : r.seq;
+    EXPECT_LE(refdp::editDistance(origin, oriented),
+              static_cast<int>(r.true_edits));
+  }
+}
+
+TEST(ReadSim, MultiContigSamplingIsLengthProportional) {
+  refmodel::Reference ref;
+  readsim::GenomeConfig gcfg;
+  // 1:3 length ratio -> read counts should split roughly 1:3.
+  gcfg.length = 50'000;
+  gcfg.seed = 60;
+  ref.addContig("small", readsim::generateGenome(gcfg));
+  gcfg.length = 150'000;
+  gcfg.seed = 61;
+  ref.addContig("large", readsim::generateGenome(gcfg));
+  auto cfg = ReadSimConfig::pacbioClr(400, 1'000);
+  const auto reads = simulateReads(ref, cfg);
+  int small = 0;
+  for (const auto& r : reads) small += r.origin_contig == 0;
+  // E[small] = 100 of 400; allow a generous band.
+  EXPECT_GT(small, 55);
+  EXPECT_LT(small, 160);
+}
+
+TEST(ReadSim, MultiContigNamesEncodeTruth) {
+  refmodel::Reference ref;
+  readsim::GenomeConfig gcfg;
+  gcfg.length = 40'000;
+  gcfg.seed = 70;
+  ref.addContig("chrX", readsim::generateGenome(gcfg));
+  gcfg.seed = 71;
+  ref.addContig("chrY", readsim::generateGenome(gcfg));
+  auto cfg = ReadSimConfig::pacbioClr(20, 800);
+  const auto reads = simulateReads(ref, cfg);
+  for (const auto& r : reads) {
+    const std::string expect =
+        "!" + ref.name(r.origin_contig) + "!" + std::to_string(r.origin_pos) +
+        "!" + (r.reverse_strand ? "-" : "+");
+    ASSERT_GE(r.name.size(), expect.size());
+    EXPECT_EQ(r.name.substr(r.name.size() - expect.size()), expect) << r.name;
+    EXPECT_EQ(r.name.rfind("read_", 0), 0u) << r.name;
+  }
+}
+
+TEST(ReadSim, SingleContigReferenceMatchesFlatOverload) {
+  // Same seed, one contig: the Reference overload samples the same
+  // origins and sequences as the flat-genome overload (names aside).
+  readsim::GenomeConfig gcfg;
+  gcfg.length = 80'000;
+  const auto genome = readsim::generateGenome(gcfg);
+  auto cfg = ReadSimConfig::pacbioClr(25, 1'200);
+  const auto flat = simulateReads(std::string_view(genome), cfg);
+  const auto via_ref =
+      simulateReads(refmodel::Reference("chr1", genome), cfg);
+  ASSERT_EQ(flat.size(), via_ref.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i].seq, via_ref[i].seq);
+    EXPECT_EQ(flat[i].origin_pos, via_ref[i].origin_pos);
+    EXPECT_EQ(flat[i].origin_len, via_ref[i].origin_len);
+    EXPECT_EQ(flat[i].reverse_strand, via_ref[i].reverse_strand);
+    EXPECT_EQ(via_ref[i].origin_contig, 0u);
+  }
+}
+
+TEST(ReadSim, MultiContigRejectsAllContigsTooShort) {
+  refmodel::Reference ref;
+  ref.addContig("tiny1", std::string(300, 'A'));
+  ref.addContig("tiny2", std::string(400, 'C'));
+  EXPECT_THROW(simulateReads(ref, ReadSimConfig::pacbioClr(5, 1'000)),
                std::invalid_argument);
 }
 

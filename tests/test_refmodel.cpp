@@ -1,0 +1,128 @@
+// Reference model: contig table over one backing buffer, O(log C)
+// global<->local coordinate mapping, FASTA construction.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "genasmx/readsim/genome.hpp"
+#include "genasmx/refmodel/reference.hpp"
+
+namespace gx::refmodel {
+namespace {
+
+Reference threeContigs() {
+  Reference ref;
+  ref.addContig("chrA", std::string(100, 'A'));
+  ref.addContig("chrB", std::string(250, 'C'));
+  ref.addContig("chrC", std::string(50, 'G'));
+  return ref;
+}
+
+TEST(Reference, ContigTableLayout) {
+  const auto ref = threeContigs();
+  EXPECT_EQ(ref.contigCount(), 3u);
+  EXPECT_EQ(ref.size(), 400u);
+  EXPECT_EQ(ref.contig(0).offset, 0u);
+  EXPECT_EQ(ref.contig(0).length, 100u);
+  EXPECT_EQ(ref.contig(1).offset, 100u);
+  EXPECT_EQ(ref.contig(1).length, 250u);
+  EXPECT_EQ(ref.contig(2).offset, 350u);
+  EXPECT_EQ(ref.contig(2).length, 50u);
+  EXPECT_EQ(ref.name(1), "chrB");
+  EXPECT_EQ(ref.contigView(1), std::string(250, 'C'));
+  // The backing buffer is the concatenation, with views into it.
+  EXPECT_EQ(ref.view().size(), 400u);
+  EXPECT_EQ(ref.contigView(2).data(), ref.view().data() + 350);
+}
+
+TEST(Reference, GlobalLocalRoundTrip) {
+  const auto ref = threeContigs();
+  // Every boundary-adjacent position resolves to the right contig.
+  struct Case {
+    std::size_t global;
+    std::uint32_t contig;
+    std::size_t local;
+  };
+  for (const auto& c : {Case{0, 0, 0}, Case{99, 0, 99}, Case{100, 1, 0},
+                        Case{349, 1, 249}, Case{350, 2, 0},
+                        Case{399, 2, 49}}) {
+    const auto p = ref.globalToLocal(c.global);
+    EXPECT_EQ(p.contig, c.contig) << "global " << c.global;
+    EXPECT_EQ(p.pos, c.local) << "global " << c.global;
+    EXPECT_EQ(ref.localToGlobal(p.contig, p.pos), c.global);
+    EXPECT_EQ(ref.contigOf(c.global), c.contig);
+  }
+  // Half-open ends convert: local == length is a valid interval end.
+  EXPECT_EQ(ref.localToGlobal(0, 100), 100u);
+}
+
+TEST(Reference, ExhaustiveRoundTripMatchesLinearScan) {
+  const auto ref = threeContigs();
+  for (std::size_t g = 0; g < ref.size(); ++g) {
+    const auto p = ref.globalToLocal(g);
+    EXPECT_EQ(ref.localToGlobal(p.contig, p.pos), g);
+    EXPECT_LT(p.pos, ref.contig(p.contig).length);
+  }
+}
+
+TEST(Reference, OutOfRangeThrows) {
+  const auto ref = threeContigs();
+  EXPECT_THROW((void)ref.globalToLocal(400), std::out_of_range);
+  EXPECT_THROW((void)ref.localToGlobal(0, 101), std::out_of_range);
+  EXPECT_THROW((void)ref.localToGlobal(3, 0), std::out_of_range);
+}
+
+TEST(Reference, SingleContigConvenienceCtor) {
+  const Reference ref("chr1", "ACGTACGT");
+  EXPECT_EQ(ref.contigCount(), 1u);
+  EXPECT_EQ(ref.name(0), "chr1");
+  EXPECT_EQ(ref.size(), 8u);
+  EXPECT_EQ(ref.globalToLocal(5).pos, 5u);
+}
+
+TEST(Reference, RejectsEmptyContig) {
+  Reference ref;
+  EXPECT_THROW(ref.addContig("empty", ""), std::invalid_argument);
+  EXPECT_THROW(Reference("empty", ""), std::invalid_argument);
+}
+
+TEST(Reference, FromFastxPreservesOrderAndRejectsDuplicates) {
+  std::vector<io::FastxRecord> records;
+  records.push_back({"chr2", "", "ACGTACGTAC", ""});
+  records.push_back({"chr1", "", "GGGG", ""});
+  const auto ref = referenceFromFastx(records);
+  EXPECT_EQ(ref.name(0), "chr2");  // record order, not name order
+  EXPECT_EQ(ref.name(1), "chr1");
+  EXPECT_EQ(ref.contigView(1), "GGGG");
+
+  records.push_back({"chr2", "", "TTTT", ""});
+  EXPECT_THROW((void)referenceFromFastx(records), std::invalid_argument);
+  EXPECT_THROW((void)referenceFromFastx({}), std::invalid_argument);
+}
+
+TEST(Reference, ManyContigsLookupStaysConsistent) {
+  // A larger table so the binary search sees a non-trivial C.
+  Reference ref;
+  readsim::GenomeConfig gcfg;
+  gcfg.length = 1'000;
+  std::size_t expect_offset = 0;
+  for (int c = 0; c < 64; ++c) {
+    gcfg.seed = 100 + static_cast<std::uint64_t>(c);
+    gcfg.length = 500 + static_cast<std::size_t>(c) * 37;
+    std::string name = "c";  // two-step append: GCC-12 -Wrestrict workaround
+    name += std::to_string(c);
+    ref.addContig(std::move(name), readsim::generateGenome(gcfg));
+    EXPECT_EQ(ref.contig(static_cast<std::uint32_t>(c)).offset, expect_offset);
+    expect_offset += gcfg.length;
+  }
+  for (std::uint32_t c = 0; c < 64; ++c) {
+    const auto& ct = ref.contig(c);
+    EXPECT_EQ(ref.contigOf(ct.offset), c);
+    EXPECT_EQ(ref.contigOf(ct.offset + ct.length - 1), c);
+  }
+}
+
+}  // namespace
+}  // namespace gx::refmodel

@@ -1,7 +1,10 @@
 // genasmx_map — the paper's end-to-end read mapper: minimizer
 // seeding/chaining candidates feeding windowed GenASM (or any registered
 // backend) through the batched MappingPipeline, emitting PAF with cg:Z:
-// CIGARs. Output is byte-identical for any --threads value.
+// CIGARs. Multi-contig references map per contig (contig-table reference
+// model; PAF target name/length/coordinates are contig-local, never a
+// merged coordinate space), and the index build parallelizes per contig
+// on the worker pool. Output is byte-identical for any --threads value.
 //
 //   genasmx_map <reference.fa> <reads.fa|fq> [options]
 //
@@ -19,6 +22,7 @@
 //                          output is byte-identical either way)
 //   --list-backends        print registered backends and exit
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +37,7 @@
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/io/paf.hpp"
 #include "genasmx/pipeline/pipeline.hpp"
+#include "genasmx/refmodel/reference.hpp"
 #include "genasmx/util/timer.hpp"
 
 namespace {
@@ -167,14 +172,17 @@ int main(int argc, char** argv) {
                  opt.reference_path.c_str());
     return 1;
   }
-  // Concatenate contigs into one mapping target (multi-contig references
-  // report against the merged coordinate space, like genasmx_align).
-  std::string genome;
-  for (const auto& rec : ref_records) genome += rec.seq;
-  const std::string target_name =
-      ref_records.size() == 1 ? ref_records[0].name : "merged";
-  std::fprintf(stderr, "[%.2fs] reference %zu bp (%zu contigs)\n",
-               timer.seconds(), genome.size(), ref_records.size());
+  refmodel::Reference reference;
+  try {
+    reference = refmodel::referenceFromFastx(ref_records);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  ref_records.clear();
+  ref_records.shrink_to_fit();
+  std::fprintf(stderr, "[%.2fs] reference %zu bp (%u contigs)\n",
+               timer.seconds(), reference.size(), reference.contigCount());
 
   pipeline::PipelineConfig cfg;
   cfg.engine.backend = opt.backend;
@@ -189,15 +197,29 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<pipeline::MappingPipeline> pipe;
   try {
-    pipe = std::make_unique<pipeline::MappingPipeline>(
-        target_name, std::move(genome), cfg);
+    pipe = std::make_unique<pipeline::MappingPipeline>(std::move(reference),
+                                                       cfg);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  std::fprintf(stderr, "[%.2fs] index built (%zu minimizers), %s backend, %zu threads\n",
+  const auto& ref = pipe->mapper().reference();
+  const auto& per_contig = pipe->mapper().index().perContigKept();
+  std::fprintf(stderr,
+               "[%.2fs] index built (%zu minimizers over %u contigs, "
+               "parallel per-contig build), %s backend, %zu threads\n",
                timer.seconds(), pipe->mapper().index().size(),
-               opt.backend.c_str(), pipe->engine().threads());
+               ref.contigCount(), opt.backend.c_str(),
+               pipe->engine().threads());
+  const std::uint32_t shown = std::min(ref.contigCount(), 16u);
+  for (std::uint32_t c = 0; c < shown; ++c) {
+    std::fprintf(stderr, "  contig %-20s %10zu bp  %8zu minimizers\n",
+                 ref.name(c).c_str(), ref.contig(c).length, per_contig[c]);
+  }
+  if (shown < ref.contigCount()) {
+    std::fprintf(stderr, "  ... and %u more contigs\n",
+                 ref.contigCount() - shown);
+  }
 
   std::ifstream reads_in(opt.reads_path);
   if (!reads_in) {
