@@ -20,6 +20,7 @@
 //   * peak RSS.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "genasmx/core/windowed.hpp"
@@ -28,6 +29,7 @@
 #include "genasmx/mapper/index.hpp"
 #include "genasmx/pipeline/pipeline.hpp"
 #include "genasmx/refmodel/reference.hpp"
+#include "genasmx/simd/batch_solver.hpp"
 #include "genasmx/util/stats.hpp"
 #include "genasmx/util/thread_pool.hpp"
 #include "genasmx/util/timer.hpp"
@@ -54,19 +56,23 @@ struct FlowTiming {
   double seconds = 0;
   double reads_per_sec = 0;
   std::size_t records = 0;
+  pipeline::StageTimes stages{};  ///< breakdown of the timed pass
 };
 
 FlowTiming timeFlow(const std::string& genome,
                     const std::vector<io::FastxRecord>& reads,
-                    bool emit_secondary, bool two_phase) {
+                    bool emit_secondary, bool two_phase,
+                    bool batched_distance = true) {
   pipeline::PipelineConfig pcfg;
   pcfg.engine.backend = "windowed-improved";
   pcfg.engine.threads = 1;  // single-thread: stable, host-comparable
   pcfg.emit_secondary = emit_secondary;
   pcfg.two_phase = two_phase;
+  pcfg.batched_distance = batched_distance;
   pipeline::MappingPipeline pipe("bench_ref", std::string(genome), pcfg);
   // Warm pass (index/file-cache/arena first-touch), then the timed pass.
   (void)pipe.mapBatch(reads);
+  const pipeline::StageTimes warm_stages = pipe.stageTimes();
   util::Timer t;
   const auto records = pipe.mapBatch(reads);
   FlowTiming ft;
@@ -74,6 +80,8 @@ FlowTiming timeFlow(const std::string& genome,
   ft.reads_per_sec =
       ft.seconds > 0 ? static_cast<double>(reads.size()) / ft.seconds : 0;
   ft.records = records.size();
+  ft.stages = pipe.stageTimes() - warm_stages;
+  ft.stages.index_build_s = warm_stages.index_build_s;  // charged once
   return ft;
 }
 
@@ -137,6 +145,70 @@ int runTracked(bench::WorkloadConfig cfg) {
                                 windows
                           : 0);
 
+  // --- distance kernel: scalar solveDistance vs the lane-parallel
+  // SimdBatchSolver over the same W=64 window problems (sliced from the
+  // workload's candidate pairs along the chain diagonal). This is the
+  // tracked batched-kernel stat: both paths must agree bit for bit, and
+  // the speedup is the PR-5 acceptance number.
+  const simd::IsaLevel isa = simd::activeIsa();
+  std::vector<simd::WindowProblem> dwin;
+  for (const auto& p : w.pairs) {
+    const std::size_t tw = static_cast<std::size_t>(wcfg.textWindow());
+    for (std::size_t off = 0;
+         off + tw <= p.target.size() && off + 64 <= p.query.size();
+         off += 64) {
+      simd::WindowProblem wp;
+      wp.text = std::string_view(p.target).substr(off, tw);
+      wp.pattern = std::string_view(p.query).substr(off, 64);
+      dwin.push_back(wp);
+    }
+  }
+  // StartOnly with the always-solvable cap: the windowed drivers'
+  // mid-window distance shape.
+  genasm::WindowSpec dspec;
+  std::vector<int> d_scalar(dwin.size(), -2);
+  std::vector<int> d_batched(dwin.size(), -2);
+  // Kernel-vs-kernel comparison: the scalar side runs over pre-reversed
+  // inputs so the timed loop is solveDistance alone — the batch solver's
+  // direct reversed indexing is part of its kernel, the scalar path's
+  // reversal copies are not part of this stat.
+  std::vector<std::string> d_rev;
+  d_rev.reserve(2 * dwin.size());
+  for (const auto& wp : dwin) {
+    d_rev.push_back(common::reversed(wp.text));
+    d_rev.push_back(common::reversed(wp.pattern));
+  }
+  for (std::size_t i = 0; i < dwin.size(); ++i) {
+    d_scalar[i] = solver.solveDistance(d_rev[2 * i], d_rev[2 * i + 1], dspec);
+  }
+  util::Timer t_dscalar;
+  for (std::size_t i = 0; i < dwin.size(); ++i) {
+    d_scalar[i] = solver.solveDistance(d_rev[2 * i], d_rev[2 * i + 1], dspec);
+  }
+  const double dscalar_seconds = t_dscalar.seconds();
+  simd::SimdBatchSolver batch_solver(isa);
+  batch_solver.solveDistanceBatch(genasm::Anchor::StartOnly, dwin.data(),
+                                  dwin.size(), d_batched.data());
+  util::Timer t_dbatch;
+  batch_solver.solveDistanceBatch(genasm::Anchor::StartOnly, dwin.data(),
+                                  dwin.size(), d_batched.data());
+  const double dbatch_seconds = t_dbatch.seconds();
+  if (d_scalar != d_batched) {
+    std::fprintf(stderr, "batched distance kernel diverged from scalar\n");
+    return 1;
+  }
+  const double dscalar_wps =
+      dscalar_seconds > 0 ? static_cast<double>(dwin.size()) / dscalar_seconds
+                          : 0;
+  const double dbatch_wps =
+      dbatch_seconds > 0 ? static_cast<double>(dwin.size()) / dbatch_seconds
+                         : 0;
+  const double dspeedup = dscalar_wps > 0 ? dbatch_wps / dscalar_wps : 0;
+  std::printf("distance kernel (W=64, %zu windows, isa=%s, %d lanes): "
+              "scalar %.0f windows/s, batched %.0f windows/s (%.2fx)\n",
+              dwin.size(), std::string(simd::isaName(isa)).c_str(),
+              batch_solver.lanes(), dscalar_wps, dbatch_wps, dspeedup);
+
   // --- index build: serial vs per-contig-parallel over a contig table
   // (the tracked genome sliced into 8 contigs, the multi-contig shape
   // real references have).
@@ -172,12 +244,45 @@ int runTracked(bench::WorkloadConfig cfg) {
               kContigs, serial_index.size(), index_serial_seconds,
               index_parallel_seconds, index_pool.size(), index_speedup);
 
+  // --- index build, single-contig shape: the whole tracked genome as
+  // one contig, split into overlapping extraction blocks so even a
+  // single chromosome fans out (bit-identical to the monolithic build).
+  refmodel::Reference single_ref;
+  single_ref.addContig("bench_chr", w.genome);
+  constexpr std::size_t kBenchBlockBp = 1u << 16;
+  mapper::MinimizerIndex sc_mono, sc_serial, sc_parallel;
+  sc_mono.build(single_ref, 15, 10, 64, nullptr, /*block_bp=*/0);
+  util::Timer t_sc_serial;
+  sc_serial.build(single_ref, 15, 10, 64, nullptr, kBenchBlockBp);
+  const double sc_serial_seconds = t_sc_serial.seconds();
+  util::Timer t_sc_parallel;
+  sc_parallel.build(single_ref, 15, 10, 64, &index_pool, kBenchBlockBp);
+  const double sc_parallel_seconds = t_sc_parallel.seconds();
+  if (!(sc_mono == sc_serial) || !(sc_serial == sc_parallel)) {
+    std::fprintf(stderr, "block-split index build diverged\n");
+    return 1;
+  }
+  const double sc_speedup =
+      sc_parallel_seconds > 0 ? sc_serial_seconds / sc_parallel_seconds : 0;
+  const std::size_t sc_blocks =
+      (w.genome.size() + kBenchBlockBp - 1) / kBenchBlockBp;
+  std::printf("index build (1 contig, %zu blocks): serial %.3fs, parallel "
+              "%.3fs on %zu threads (%.2fx)\n",
+              sc_blocks, sc_serial_seconds, sc_parallel_seconds,
+              index_pool.size(), sc_speedup);
+
   // --- pipeline flows.
   const FlowTiming full = timeFlow(w.genome, reads, true, false);
   const FlowTiming single = timeFlow(w.genome, reads, false, false);
   const FlowTiming two = timeFlow(w.genome, reads, false, true);
+  const FlowTiming two_scalar_p1 =
+      timeFlow(w.genome, reads, false, true, /*batched_distance=*/false);
   const double speedup =
       two.seconds > 0 ? full.seconds / two.seconds : 0;
+  const double p1_speedup = two.stages.phase1_distance_s > 0
+                                ? two_scalar_p1.stages.phase1_distance_s /
+                                      two.stages.phase1_distance_s
+                                : 0;
 
   std::printf("\npipeline (1 thread, windowed-improved):\n");
   std::printf("  full flow (secondaries)        %8.3fs %10.1f reads/s  %zu records\n",
@@ -186,7 +291,17 @@ int runTracked(bench::WorkloadConfig cfg) {
               single.seconds, single.reads_per_sec, single.records);
   std::printf("  primary-only, two-phase        %8.3fs %10.1f reads/s  %zu records\n",
               two.seconds, two.reads_per_sec, two.records);
+  std::printf("  two-phase, scalar phase 1      %8.3fs %10.1f reads/s  %zu records\n",
+              two_scalar_p1.seconds, two_scalar_p1.reads_per_sec,
+              two_scalar_p1.records);
   std::printf("  two-phase speedup vs full      %8.2fx\n", speedup);
+  std::printf("  batched phase-1 speedup        %8.2fx (%.3fs -> %.3fs)\n",
+              p1_speedup, two_scalar_p1.stages.phase1_distance_s,
+              two.stages.phase1_distance_s);
+  std::printf("  two-phase stage breakdown: seed+chain %.3fs, "
+              "phase1-distance %.3fs, phase2-traceback %.3fs, output %.3fs\n",
+              two.stages.seed_chain_s, two.stages.phase1_distance_s,
+              two.stages.traceback_s, two.stages.output_s);
   std::printf("peak RSS: %.1f MiB\n",
               static_cast<double>(bench::peakRssBytes()) / (1024.0 * 1024.0));
 
@@ -227,18 +342,48 @@ int runTracked(bench::WorkloadConfig cfg) {
         .num("parallel_seconds", index_parallel_seconds)
         .num("pool_threads", static_cast<std::uint64_t>(index_pool.size()))
         .num("speedup_parallel_vs_serial", index_speedup);
+    bench::JsonObject index_build_single_contig;
+    index_build_single_contig
+        .num("blocks", static_cast<std::uint64_t>(sc_blocks))
+        .num("block_bp", static_cast<std::uint64_t>(kBenchBlockBp))
+        .num("serial_seconds", sc_serial_seconds)
+        .num("parallel_seconds", sc_parallel_seconds)
+        .num("pool_threads", static_cast<std::uint64_t>(index_pool.size()))
+        .num("speedup_parallel_vs_serial", sc_speedup);
+    bench::JsonObject distance_kernel;
+    distance_kernel.num("windows", static_cast<std::uint64_t>(dwin.size()))
+        .num("window_bp", 64)
+        .str("isa", std::string(simd::isaName(isa)))
+        .num("lanes", batch_solver.lanes())
+        .num("scalar_seconds", dscalar_seconds)
+        .num("batched_seconds", dbatch_seconds)
+        .num("distance_scalar_windows_per_sec", dscalar_wps)
+        .num("distance_batched_windows_per_sec", dbatch_wps)
+        .num("speedup_batched_vs_scalar", dspeedup);
+    bench::JsonObject stage_breakdown;
+    stage_breakdown.num("index_build_seconds", two.stages.index_build_s)
+        .num("seed_chain_seconds", two.stages.seed_chain_s)
+        .num("phase1_distance_seconds", two.stages.phase1_distance_s)
+        .num("phase2_traceback_seconds", two.stages.traceback_s)
+        .num("output_seconds", two.stages.output_s);
     bench::JsonObject root;
     root.str("bench", "pipeline")
         .str("mode", "quick")
         .str("backend", "windowed-improved")
         .num("threads", 1)
+        .str("simd_isa", std::string(simd::isaName(isa)))
         .obj("workload", workload)
         .obj("aligner", aligner)
+        .obj("distance_kernel", distance_kernel)
         .obj("index_build", index_build)
+        .obj("index_build_single_contig", index_build_single_contig)
         .obj("pipeline_full", flow(full))
         .obj("pipeline_primary_single_phase", flow(single))
         .obj("pipeline_primary_two_phase", flow(two))
+        .obj("pipeline_primary_two_phase_scalar_p1", flow(two_scalar_p1))
+        .obj("stage_breakdown", stage_breakdown)
         .num("speedup_two_phase_vs_full", speedup)
+        .num("speedup_batched_phase1_vs_scalar", p1_speedup)
         .num("peak_rss_bytes", bench::peakRssBytes());
     if (!root.writeFile(cfg.json_path)) {
       std::fprintf(stderr, "error: cannot write %s\n",

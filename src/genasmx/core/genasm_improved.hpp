@@ -298,6 +298,9 @@ class ImprovedWindowSolver {
       }
       // Priority match > del > ins > sub — identical to the baseline
       // traceback; see the note there on why indels commit eagerly.
+      // Mirrored by simd::SimdBatchSolver's tracebackLane: changes here
+      // must be reflected there (the batched flows' bit-identity
+      // depends on it; test_simd pins the parity).
       if (match_ok) {
         out.cigar.push(common::EditOp::Match);
         --i;

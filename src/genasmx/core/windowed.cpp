@@ -1,5 +1,7 @@
 #include "genasmx/core/windowed.hpp"
 
+#include <vector>
+
 namespace gx::core {
 namespace {
 
@@ -92,6 +94,118 @@ int distanceWindowedBaseline(std::string_view target, std::string_view query,
   };
   if (stats) return run(util::CountingMemCounter(*stats));
   return run(util::NullMemCounter{});
+}
+
+void distanceWindowedBatch(simd::SimdBatchSolver& solver,
+                           const WindowConfig& cfg,
+                           const BatchedDistanceRequest* requests,
+                           std::size_t count, int* results) {
+  cfg.validate();
+  const std::size_t W = static_cast<std::size_t>(cfg.window);
+  const std::size_t final_slack =
+      static_cast<std::size_t>(cfg.textWindow() - cfg.window);
+
+  // Per-request march state — distanceWindowed()'s locals, one per lane.
+  struct March {
+    std::size_t ti = 0;
+    std::size_t qi = 0;
+    std::uint64_t acc = 0;
+    std::uint64_t budget = ~0ULL;
+    bool done = false;
+    bool is_final = false;  ///< current window is the final window
+  };
+  std::vector<March> st(count);
+  std::size_t live = count;
+  for (std::size_t r = 0; r < count; ++r) {
+    st[r].budget = requests[r].cap < 0
+                       ? ~0ULL
+                       : static_cast<std::uint64_t>(requests[r].cap);
+  }
+  const auto finish = [&](std::size_t r, int value) {
+    st[r].done = true;
+    results[r] = value;
+    --live;
+  };
+
+  std::vector<simd::WindowProblem> probs;
+  std::vector<simd::WindowOutcome> outs;
+  std::vector<std::size_t> lane_req;
+
+  // Each sweep advances every live request by exactly one window: the
+  // current windows of all live requests are packed into lanes and
+  // solved together, then each lane applies the scalar march update.
+  while (live > 0) {
+    probs.clear();
+    lane_req.clear();
+    for (std::size_t r = 0; r < count; ++r) {
+      if (st[r].done) continue;
+      const std::string_view target = requests[r].target;
+      const std::string_view query = requests[r].query;
+      const std::size_t rem_t = target.size() - st[r].ti;
+      const std::size_t rem_q = query.size() - st[r].qi;
+      if (rem_q == 0) {
+        st[r].acc += rem_t;  // trailing deletions
+        finish(r, st[r].acc > st[r].budget ? -1
+                                           : static_cast<int>(st[r].acc));
+        continue;
+      }
+      if (rem_t == 0) {
+        st[r].acc += rem_q;  // trailing insertions
+        finish(r, st[r].acc > st[r].budget ? -1
+                                           : static_cast<int>(st[r].acc));
+        continue;
+      }
+      simd::WindowProblem p;
+      p.max_edits = cfg.max_edits;
+      if (rem_q <= W) {
+        st[r].is_final = true;
+        const std::size_t tw_len = std::min(rem_t, rem_q + final_slack);
+        p.text = target.substr(st[r].ti, tw_len);
+        p.pattern = query.substr(st[r].qi, rem_q);
+        p.tb_op_limit = -1;
+      } else {
+        st[r].is_final = false;
+        const std::size_t tw_len =
+            std::min(rem_t, static_cast<std::size_t>(cfg.textWindow()));
+        p.text = target.substr(st[r].ti, tw_len);
+        p.pattern = query.substr(st[r].qi, W);
+        p.tb_op_limit = cfg.window - cfg.overlap;
+      }
+      probs.push_back(p);
+      lane_req.push_back(r);
+    }
+    if (probs.empty()) break;
+    outs.resize(probs.size());
+    solver.solveWindowBatch(genasm::Anchor::StartOnly, probs.data(),
+                            probs.size(), outs.data());
+    for (std::size_t j = 0; j < lane_req.size(); ++j) {
+      const std::size_t r = lane_req[j];
+      const simd::WindowOutcome& out = outs[j];
+      March& m = st[r];
+      if (!out.ok) {
+        finish(r, -1);
+        continue;
+      }
+      if (m.is_final) {
+        m.acc += out.edits;
+        const std::size_t rem_t = requests[r].target.size() - m.ti;
+        if (out.text_consumed < rem_t) m.acc += rem_t - out.text_consumed;
+        finish(r, m.acc > m.budget ? -1 : static_cast<int>(m.acc));
+        continue;
+      }
+      if (out.text_consumed == 0 && out.pattern_consumed == 0) {
+        finish(r, -1);  // defensive: no progress
+        continue;
+      }
+      m.acc += out.edits;
+      if (m.acc > m.budget) {
+        finish(r, -1);  // total >= acc, so the cap is blown
+        continue;
+      }
+      m.ti += out.text_consumed;
+      m.qi += out.pattern_consumed;
+    }
+  }
 }
 
 int distanceWindowedImproved(std::string_view target, std::string_view query,

@@ -13,6 +13,7 @@
 // baseline and the improved algorithm share identical windowing logic —
 // the measured differences (E1-E5) come from the solvers alone.
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -21,6 +22,7 @@
 #include "genasmx/common/sequence.hpp"
 #include "genasmx/core/genasm_improved.hpp"
 #include "genasmx/genasm/genasm_baseline.hpp"
+#include "genasmx/simd/batch_solver.hpp"
 #include "genasmx/util/mem_stats.hpp"
 
 namespace gx::core {
@@ -242,6 +244,28 @@ int distanceWindowed(Solver& solver, std::string_view target,
   if (acc > budget) return -1;
   return static_cast<int>(acc);
 }
+
+/// One capped windowed-distance problem for the batched march (original
+/// orientation, same semantics as distanceWindowed's arguments).
+struct BatchedDistanceRequest {
+  std::string_view target;
+  std::string_view query;
+  int cap = -1;  ///< exact result cap; -1 = uncapped
+};
+
+/// Batched counterpart of distanceWindowed(): marches every request's
+/// window chain concurrently, packing the current windows of all live
+/// requests into SIMD lanes (the paper's inter-window parallelism —
+/// windows of *different* problems run in lock-step lanes; each
+/// problem's own windows stay sequential, as the stitching requires).
+/// results[i] equals distanceWindowed(solver, target, query, cfg, cap)
+/// for both GenASM window solvers: per-window solves are bit-identical
+/// (see SimdBatchSolver) and the march logic is the same, so capped
+/// kills and no-progress aborts fire at exactly the same windows.
+void distanceWindowedBatch(simd::SimdBatchSolver& solver,
+                           const WindowConfig& cfg,
+                           const BatchedDistanceRequest* requests,
+                           std::size_t count, int* results);
 
 /// Windowed alignment with the unimproved baseline solver.
 [[nodiscard]] common::AlignmentResult alignWindowedBaseline(

@@ -10,6 +10,7 @@
 // per worker amortizes allocations across a batch share. Instances are
 // NOT thread-safe; create one per thread (AlignmentEngine does).
 
+#include <cstddef>
 #include <memory>
 #include <string_view>
 
@@ -20,6 +21,15 @@
 #include "genasmx/myers/myers.hpp"
 
 namespace gx::engine {
+
+/// A distance-only problem: views into caller-kept storage, CIGAR-free,
+/// with an optional exact result cap — distances above `cap` report -1
+/// without paying for the full solve (see Aligner::distance).
+struct DistanceTask {
+  std::string_view target;
+  std::string_view query;
+  int cap = -1;
+};
 
 /// Union of the knobs the registered backends understand. Each backend
 /// reads only its slice; defaults reproduce the paper's configuration.
@@ -61,6 +71,19 @@ class Aligner {
     if (!res.ok) return -1;
     if (cap >= 0 && res.edit_distance > cap) return -1;
     return res.edit_distance;
+  }
+
+  /// Distance-score `count` tasks; results[i] follows distance()'s
+  /// contract for tasks[i] exactly (the default is that loop). Backends
+  /// with a lane-parallel batched kernel override this and pack
+  /// same-shaped problems into SIMD lanes — results are guaranteed
+  /// identical to the scalar loop, so callers may batch freely without
+  /// affecting output. The viewed storage must outlive the call.
+  virtual void distanceBatch(const DistanceTask* tasks, std::size_t count,
+                             int* results) {
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = distance(tasks[i].target, tasks[i].query, tasks[i].cap);
+    }
   }
 
   /// The registry name this instance was created under.

@@ -64,10 +64,8 @@ std::vector<int> AlignmentEngine::distanceBatch(
   std::vector<int> results(tasks.size(), -1);
   pool_.parallel_for(tasks.size(), [&](std::size_t begin, std::size_t end) {
     AlignerLease aligner(*this);
-    for (std::size_t i = begin; i < end; ++i) {
-      results[i] =
-          aligner->distance(tasks[i].target, tasks[i].query, tasks[i].cap);
-    }
+    aligner->distanceBatch(tasks.data() + begin, end - begin,
+                           results.data() + begin);
   });
   return results;
 }

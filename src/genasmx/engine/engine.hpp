@@ -30,15 +30,6 @@ struct AlignmentTask {
   std::string_view query;   ///< read, oriented to the mapping strand
 };
 
-/// A distance-only problem: like AlignmentTask but CIGAR-free, with an
-/// optional exact result cap — distances above `cap` report -1 without
-/// paying for the full solve (see Aligner::distance).
-struct DistanceTask {
-  std::string_view target;
-  std::string_view query;
-  int cap = -1;
-};
-
 struct EngineConfig {
   /// Registry name of the backend to run (see registry.hpp).
   std::string backend = "windowed-improved";
@@ -81,7 +72,10 @@ class AlignmentEngine {
   /// Distance-score every task; results[i] is the edit distance of
   /// tasks[i] (or -1: no alignment, or above tasks[i].cap). Deterministic
   /// like alignBatch; the traceback-free fast path of the two-phase
-  /// mapping flow.
+  /// mapping flow. Each worker hands its whole contiguous chunk to
+  /// Aligner::distanceBatch, so backends with a lane-parallel kernel
+  /// (the GenASM family) pack the chunk's tasks into SIMD lane batches —
+  /// results stay identical to the per-task scalar loop by contract.
   [[nodiscard]] std::vector<int> distanceBatch(
       const std::vector<DistanceTask>& tasks);
 

@@ -5,11 +5,13 @@
 #include <tuple>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "genasmx/bitvector/bitvector.hpp"
 #include "genasmx/genasm/genasm_baseline.hpp"
 #include "genasmx/refdp/affine_dp.hpp"
 #include "genasmx/refdp/edit_dp.hpp"
+#include "genasmx/simd/batch_solver.hpp"
 
 namespace gx::engine {
 namespace {
@@ -55,6 +57,65 @@ struct PerWidthSolvers {
   }
 };
 
+/// Shared batched-distance routing for the GenASM backends. Tasks whose
+/// query fits a single global window go through the lane-parallel
+/// distance kernel (solveDistanceBatch == scalar solveDistance per
+/// lane); the rest march through core::distanceWindowedBatch, which
+/// packs the current windows of all live tasks into lanes. The
+/// windowed-* backends always march, mirroring their scalar distance().
+/// Results are identical to the scalar per-task loop in every case.
+void genasmDistanceBatch(simd::SimdBatchSolver& solver,
+                         const core::WindowConfig& wcfg, int max_edits,
+                         bool windowed_only, const DistanceTask* tasks,
+                         std::size_t count, int* results) {
+  std::vector<simd::WindowProblem> globals;
+  std::vector<std::size_t> global_idx;
+  std::vector<core::BatchedDistanceRequest> marches;
+  std::vector<std::size_t> march_idx;
+  globals.reserve(count);
+  global_idx.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const DistanceTask& t = tasks[i];
+    if (windowed_only || t.query.size() > kGlobalGenasmMax) {
+      marches.push_back({t.target, t.query, t.cap});
+      march_idx.push_back(i);
+      continue;
+    }
+    if (t.query.empty()) {
+      // distanceGlobalWith's degenerate case: delete the whole target.
+      const int d = static_cast<int>(t.target.size());
+      results[i] = (t.cap >= 0 && d > t.cap) ? -1 : d;
+      continue;
+    }
+    // Fold the result cap into the level cap, as distanceGlobalWith does:
+    // hopeless problems stop at cap+1 levels.
+    int k = max_edits >= 0
+                ? max_edits
+                : genasm::autoEditCap(static_cast<int>(t.target.size()),
+                                      static_cast<int>(t.query.size()),
+                                      genasm::Anchor::BothEnds);
+    if (t.cap >= 0 && t.cap < k) k = t.cap;
+    globals.push_back({t.target, t.query, k, -1});
+    global_idx.push_back(i);
+  }
+  if (!globals.empty()) {
+    std::vector<int> r(globals.size());
+    solver.solveDistanceBatch(genasm::Anchor::BothEnds, globals.data(),
+                              globals.size(), r.data());
+    for (std::size_t j = 0; j < global_idx.size(); ++j) {
+      results[global_idx[j]] = r[j];
+    }
+  }
+  if (!marches.empty()) {
+    std::vector<int> r(marches.size());
+    core::distanceWindowedBatch(solver, wcfg, marches.data(), marches.size(),
+                                r.data());
+    for (std::size_t j = 0; j < march_idx.size(); ++j) {
+      results[march_idx[j]] = r[j];
+    }
+  }
+}
+
 class GlobalBaselineAligner final : public Aligner {
  public:
   // Window geometry is validated up front: the >512 bp fallback would
@@ -90,12 +151,18 @@ class GlobalBaselineAligner final : public Aligner {
                                     cfg_.window, cap, bufs_);
     });
   }
+  void distanceBatch(const DistanceTask* tasks, std::size_t count,
+                     int* results) override {
+    genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
+                        /*windowed_only=*/false, tasks, count, results);
+  }
   std::string_view name() const noexcept override { return "baseline"; }
 
  private:
   AlignerConfig cfg_;
   PerWidthSolvers<genasm::BaselineWindowSolver> solvers_;
   core::WindowBuffers bufs_;
+  simd::SimdBatchSolver simd_;
 };
 
 class GlobalImprovedAligner final : public Aligner {
@@ -131,12 +198,18 @@ class GlobalImprovedAligner final : public Aligner {
                                     t, q, cfg_.window, cap, bufs_);
     });
   }
+  void distanceBatch(const DistanceTask* tasks, std::size_t count,
+                     int* results) override {
+    genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
+                        /*windowed_only=*/false, tasks, count, results);
+  }
   std::string_view name() const noexcept override { return "improved"; }
 
  private:
   AlignerConfig cfg_;
   PerWidthSolvers<core::ImprovedWindowSolver> solvers_;
   core::WindowBuffers bufs_;
+  simd::SimdBatchSolver simd_;
 };
 
 class WindowedBaselineAligner final : public Aligner {
@@ -156,6 +229,11 @@ class WindowedBaselineAligner final : public Aligner {
                                     cfg_.window, cap, bufs_);
     });
   }
+  void distanceBatch(const DistanceTask* tasks, std::size_t count,
+                     int* results) override {
+    genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
+                        /*windowed_only=*/true, tasks, count, results);
+  }
   std::string_view name() const noexcept override {
     return "windowed-baseline";
   }
@@ -164,6 +242,7 @@ class WindowedBaselineAligner final : public Aligner {
   AlignerConfig cfg_;
   PerWidthSolvers<genasm::BaselineWindowSolver> solvers_;
   core::WindowBuffers bufs_;
+  simd::SimdBatchSolver simd_;
 };
 
 class WindowedImprovedAligner final : public Aligner {
@@ -183,6 +262,11 @@ class WindowedImprovedAligner final : public Aligner {
                                     t, q, cfg_.window, cap, bufs_);
     });
   }
+  void distanceBatch(const DistanceTask* tasks, std::size_t count,
+                     int* results) override {
+    genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
+                        /*windowed_only=*/true, tasks, count, results);
+  }
   std::string_view name() const noexcept override {
     return "windowed-improved";
   }
@@ -191,6 +275,7 @@ class WindowedImprovedAligner final : public Aligner {
   AlignerConfig cfg_;
   PerWidthSolvers<core::ImprovedWindowSolver> solvers_;
   core::WindowBuffers bufs_;
+  simd::SimdBatchSolver simd_;
 };
 
 class MyersBackend final : public Aligner {

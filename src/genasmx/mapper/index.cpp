@@ -18,8 +18,8 @@ namespace {
 using Entry = std::pair<std::uint64_t, std::uint64_t>;
 
 std::vector<Entry> extractShard(std::size_t offset, std::string_view text,
-                                int k, int w) {
-  const auto mins = extractMinimizers(text, k, w);
+                                int k, int w, std::size_t emit_from) {
+  const auto mins = extractMinimizers(text, k, w, emit_from);
   std::vector<Entry> entries;
   entries.reserve(mins.size());
   for (const Minimizer& m : mins) {
@@ -33,28 +33,51 @@ std::vector<Entry> extractShard(std::size_t offset, std::string_view text,
 }  // namespace
 
 void MinimizerIndex::build(const refmodel::Reference& ref, int k, int w,
-                           int max_occ, util::ThreadPool* pool) {
-  std::vector<Span> shards;
+                           int max_occ, util::ThreadPool* pool,
+                           std::size_t block_bp) {
+  std::vector<Shard> shards;
   shards.reserve(ref.contigCount());
   for (std::uint32_t c = 0; c < ref.contigCount(); ++c) {
-    shards.push_back(Span{ref.contig(c).offset, ref.contigView(c)});
+    const std::size_t offset = ref.contig(c).offset;
+    const std::string_view text = ref.contigView(c);
+    if (block_bp == 0 || text.size() <= block_bp) {
+      shards.push_back(Shard{c, offset, text, 0});
+      continue;
+    }
+    // Large contig: overlapping extraction blocks. Block b owns the
+    // windows whose last k-mer starts in [b*block, (b+1)*block); its
+    // text additionally carries w warm-up characters on the left (one
+    // warm-up window rebuilds the duplicate-suppression state, see
+    // extractMinimizers) and k-1 overhang characters on the right (the
+    // last owned k-mer's tail).
+    const std::size_t warm = static_cast<std::size_t>(w);
+    const std::size_t tail = static_cast<std::size_t>(k) - 1;
+    for (std::size_t start = 0; start < text.size(); start += block_bp) {
+      const std::size_t end = std::min(text.size(), start + block_bp);
+      const std::size_t tstart = start >= warm ? start - warm : 0;
+      const std::size_t tend = std::min(text.size(), end + tail);
+      shards.push_back(Shard{c, offset + tstart,
+                             text.substr(tstart, tend - tstart),
+                             start - tstart});
+    }
   }
-  buildShards(shards, k, w, max_occ, pool, &ref);
+  buildShards(shards, ref.contigCount(), k, w, max_occ, pool, &ref);
 }
 
 void MinimizerIndex::build(std::string_view genome, int k, int w,
                            int max_occ) {
-  buildShards({Span{0, genome}}, k, w, max_occ, nullptr, nullptr);
+  buildShards({Shard{0, 0, genome, 0}}, 1, k, w, max_occ, nullptr, nullptr);
 }
 
-void MinimizerIndex::buildShards(const std::vector<Span>& shards, int k,
-                                 int w, int max_occ, util::ThreadPool* pool,
+void MinimizerIndex::buildShards(const std::vector<Shard>& shards,
+                                 std::size_t contig_count, int k, int w,
+                                 int max_occ, util::ThreadPool* pool,
                                  const refmodel::Reference* ref_for_stats) {
   k_ = k;
   w_ = w;
   keys_.clear();
   values_.clear();
-  per_contig_kept_.assign(shards.size(), 0);
+  per_contig_kept_.assign(contig_count > 0 ? contig_count : 1, 0);
   if (shards.empty()) return;
 
   // IndexHit (and the Anchor/Chain types downstream) hold positions in
@@ -69,11 +92,14 @@ void MinimizerIndex::buildShards(const std::vector<Span>& shards, int k,
         "(4 Gbp)");
   }
 
-  // Stage 1 — per-contig extraction + shard sort (parallel over contigs).
+  // Stage 1 — per-shard extraction + sort (parallel over shards; large
+  // contigs contribute several block shards, so even a single-chromosome
+  // reference fans out here).
   std::vector<std::vector<Entry>> sorted(shards.size());
   const auto extract_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      sorted[i] = extractShard(shards[i].offset, shards[i].text, k, w);
+      sorted[i] = extractShard(shards[i].offset, shards[i].text, k, w,
+                               shards[i].emit_from);
     }
   };
   if (pool != nullptr && shards.size() > 1) {
@@ -85,7 +111,7 @@ void MinimizerIndex::buildShards(const std::vector<Span>& shards, int k,
   // subtracts dropped groups, so the common (kept) path never resolves a
   // position back to its contig.
   for (std::size_t i = 0; i < shards.size(); ++i) {
-    per_contig_kept_[i] = sorted[i].size();
+    per_contig_kept_[shards[i].contig] += sorted[i].size();
   }
 
   // Stage 2 — pairwise merge tree. Each round halves the shard count;

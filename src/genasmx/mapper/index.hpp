@@ -31,18 +31,30 @@ struct IndexHit {
   bool reverse;
 };
 
+/// Extraction block size for large contigs: contigs longer than this are
+/// split into overlapping blocks so a single-chromosome reference still
+/// fans its index build out across workers. Block extraction is
+/// bit-identical to monolithic extraction (see extractMinimizers'
+/// emit_from contract), so the block size is a pure scheduling knob.
+inline constexpr std::size_t kIndexBlockBp = 1u << 18;
+
 class MinimizerIndex {
  public:
   MinimizerIndex() = default;
 
-  /// Build over `ref` with minimizer parameters (k, w), one extraction
-  /// shard per contig. Minimizers occurring more than max_occ times are
+  /// Build over `ref` with minimizer parameters (k, w). Each contig is
+  /// extracted as one shard — or, past `block_bp` characters, as several
+  /// overlapping blocks with warm-up windows, so large contigs
+  /// parallelize too. Minimizers occurring more than max_occ times are
   /// dropped. A non-null `pool` parallelizes shard extraction/sort and
-  /// the merge tree without changing the result. Throws
-  /// std::invalid_argument for a reference past 4 Gbp (positions are
-  /// stored in 32 bits throughout the mapper stack).
+  /// the merge tree. Neither the pool nor the block size changes the
+  /// result: every schedule yields a bit-identical index (asserted by
+  /// tests and the tracked bench). Throws std::invalid_argument for a
+  /// reference past 4 Gbp (positions are stored in 32 bits throughout
+  /// the mapper stack).
   void build(const refmodel::Reference& ref, int k, int w, int max_occ,
-             util::ThreadPool* pool = nullptr);
+             util::ThreadPool* pool = nullptr,
+             std::size_t block_bp = kIndexBlockBp);
 
   /// Flat-genome convenience: one anonymous contig, serial build.
   void build(std::string_view genome, int k, int w, int max_occ);
@@ -72,12 +84,14 @@ class MinimizerIndex {
   }
 
  private:
-  struct Span {
-    std::size_t offset;     ///< global coordinate of the shard's start
-    std::string_view text;  ///< the contig's sequence
+  struct Shard {
+    std::uint32_t contig;   ///< owning contig (per-contig stats)
+    std::size_t offset;     ///< global coordinate of the shard text start
+    std::string_view text;  ///< block text, including warm-up overlap
+    std::size_t emit_from;  ///< first owned window, text-relative
   };
-  void buildShards(const std::vector<Span>& shards, int k, int w, int max_occ,
-                   util::ThreadPool* pool,
+  void buildShards(const std::vector<Shard>& shards, std::size_t contig_count,
+                   int k, int w, int max_occ, util::ThreadPool* pool,
                    const refmodel::Reference* ref_for_stats);
 
   int k_ = 0;

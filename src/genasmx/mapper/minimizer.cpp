@@ -6,7 +6,8 @@
 
 namespace gx::mapper {
 
-std::vector<Minimizer> extractMinimizers(std::string_view seq, int k, int w) {
+std::vector<Minimizer> extractMinimizers(std::string_view seq, int k, int w,
+                                         std::size_t emit_from) {
   if (k < 4 || k > 31) throw std::invalid_argument("minimizer: k in [4,31]");
   if (w < 1) throw std::invalid_argument("minimizer: w >= 1");
   std::vector<Minimizer> out;
@@ -46,6 +47,13 @@ std::vector<Minimizer> extractMinimizers(std::string_view seq, int k, int w) {
           (ring[r].key == best->key && ring[r].pos > best->pos)) {
         best = &ring[r];
       }
+    }
+    if (pos < emit_from) {
+      // Warm-up window of a block-split extraction: seed the suppression
+      // state exactly as the monolithic pass would have left it (after
+      // any window, last_pos equals that window's pick) without emitting.
+      last_pos = best->pos;
+      continue;
     }
     if (best->pos != last_pos) {
       out.push_back(Minimizer{best->key, best->pos, best->reverse});

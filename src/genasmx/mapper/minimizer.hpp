@@ -25,7 +25,17 @@ struct Minimizer {
 
 /// Extract the minimizers of `seq` for k-mer size k (<= 31) and window w.
 /// Consecutive duplicate (key, pos) picks are emitted once.
-[[nodiscard]] std::vector<Minimizer> extractMinimizers(std::string_view seq,
-                                                       int k, int w);
+///
+/// `emit_from` supports block-split extraction of one long sequence:
+/// windows whose last k-mer starts before `emit_from` are processed as
+/// warm-up only — they seed the duplicate-suppression state but emit
+/// nothing. Splitting a sequence into blocks that overlap by w + k - 1
+/// characters and emitting each block from its first owned window
+/// reproduces the monolithic extraction exactly: the pick of window p
+/// depends only on the ring of k-mers [p-w+1, p], and the suppression
+/// state entering window p is always the pick of window p-1 (whether or
+/// not it was emitted), which one warm-up window reconstructs.
+[[nodiscard]] std::vector<Minimizer> extractMinimizers(
+    std::string_view seq, int k, int w, std::size_t emit_from = 0);
 
 }  // namespace gx::mapper

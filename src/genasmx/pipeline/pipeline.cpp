@@ -7,9 +7,21 @@
 #include <utility>
 
 #include "genasmx/common/sequence.hpp"
+#include "genasmx/util/timer.hpp"
 
 namespace gx::pipeline {
 namespace {
+
+/// Construct the mapper (which builds the index on the engine's pool)
+/// under a timer, charging the cost to StageTimes::index_build_s.
+mapper::Mapper buildMapperTimed(refmodel::Reference ref,
+                                const mapper::MapperConfig& cfg,
+                                util::ThreadPool* pool, double& seconds) {
+  util::Timer t;
+  mapper::Mapper m(std::move(ref), cfg, pool);
+  seconds = t.seconds();
+  return m;
+}
 
 /// Per-read working state for one batch. Slots are written only by the
 /// worker that owns the read, so the parallel fan-out stays race-free
@@ -156,7 +168,8 @@ struct RecordBuilder {
 MappingPipeline::MappingPipeline(refmodel::Reference ref, PipelineConfig cfg)
     : cfg_(std::move(cfg)),
       engine_(cfg_.engine),
-      mapper_(std::move(ref), cfg_.mapper, &engine_.pool()) {}
+      mapper_(buildMapperTimed(std::move(ref), cfg_.mapper, &engine_.pool(),
+                               times_.index_build_s)) {}
 
 MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
                                  PipelineConfig cfg)
@@ -167,6 +180,7 @@ MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
 std::vector<io::PafRecord> MappingPipeline::mapBatch(
     const std::vector<io::FastxRecord>& reads) {
   // Stage 1 — candidate generation, fanned out on the engine's pool.
+  util::Timer stage_timer;
   std::vector<ReadWork> work(reads.size());
   engine_.pool().parallel_for(
       reads.size(), [&](std::size_t begin, std::size_t end) {
@@ -184,6 +198,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
           work[i].cands = std::move(cands);
         }
       });
+  times_.seed_chain_s += stage_timer.seconds();
 
   const auto targetView = [&](const mapper::Candidate& c) {
     return mapper_.candidateText(c);  // view into the reference backing
@@ -213,10 +228,61 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       // chain order with Pick::scoreCap() as the cap, so a candidate
       // provably unable to change the emitted record aborts its window
       // march as soon as its committed edits blow the cap.
+      //
+      // In batched mode the per-read cap is frozen after the chain-best
+      // alignment and every remaining candidate of the worker's chunk is
+      // scored through one Aligner::distanceBatch call, packing the
+      // problems into the backend's SIMD lanes. The frozen cap is >= the
+      // sequential flow's dynamic cap at every candidate (caps only
+      // tighten), and every cap above the dynamic one yields the same
+      // emitted record (Pick::scoreCap's saturation argument), so the
+      // two modes — and any thread count — stay byte-identical.
+      stage_timer.reset();
       std::vector<common::AlignmentResult> chain_best(reads.size());
       engine_.pool().parallel_for(
           reads.size(), [&](std::size_t begin, std::size_t end) {
             engine::AlignmentEngine::AlignerLease aligner(engine_);
+            if (cfg_.batched_distance) {
+              for (std::size_t i = begin; i < end; ++i) {
+                if (work[i].cands.empty()) continue;
+                const auto& cand = work[i].cands[0];
+                chain_best[i] = aligner->align(targetView(cand),
+                                               queryView(i, cand));
+                if (chain_best[i].ok) {
+                  picks[i].update(0, static_cast<int>(
+                                         chain_best[i].cigar.editDistance()));
+                }
+              }
+              std::size_t task_count = 0;
+              for (std::size_t i = begin; i < end; ++i) {
+                if (work[i].cands.size() > 1) {
+                  task_count += work[i].cands.size() - 1;
+                }
+              }
+              std::vector<engine::DistanceTask> tasks;
+              std::vector<std::pair<std::size_t, std::size_t>> task_cand;
+              tasks.reserve(task_count);
+              task_cand.reserve(task_count);
+              for (std::size_t i = begin; i < end; ++i) {
+                const auto& cands = work[i].cands;
+                const int cap = picks[i].scoreCap();
+                for (std::size_t c = 1; c < cands.size(); ++c) {
+                  tasks.push_back(
+                      {targetView(cands[c]), queryView(i, cands[c]), cap});
+                  task_cand.emplace_back(i, c);
+                }
+              }
+              std::vector<int> ds(tasks.size(), -1);
+              aligner->distanceBatch(tasks.data(), tasks.size(), ds.data());
+              // Fold in chain order (tasks were emitted in chain order).
+              for (std::size_t k = 0; k < tasks.size(); ++k) {
+                if (ds[k] >= 0) {
+                  picks[task_cand[k].first].update(
+                      static_cast<int>(task_cand[k].second), ds[k]);
+                }
+              }
+              return;  // this chunk is done; scalar path below unused
+            }
             for (std::size_t i = begin; i < end; ++i) {
               Pick& p = picks[i];
               const auto& cands = work[i].cands;
@@ -236,8 +302,10 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
               }
             }
           });
+      times_.phase1_distance_s += stage_timer.seconds();
       // Phase 2 — a traceback alignment only for winners that are not
       // the cached chain-best candidate.
+      stage_timer.reset();
       std::vector<engine::AlignmentTask> winner_tasks;
       std::vector<std::size_t> winner_reads;
       for (std::size_t i = 0; i < reads.size(); ++i) {
@@ -248,6 +316,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
         winner_tasks.push_back({targetView(cand), queryView(i, cand)});
       }
       aligned = engine_.alignBatch(winner_tasks);
+      times_.traceback_s += stage_timer.seconds();
       // Fold: cached chain-best winners append after the batch results.
       for (std::size_t k = 0; k < winner_reads.size(); ++k) {
         widx[winner_reads[k]] = k;
@@ -262,6 +331,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       // Single-phase comparator: full-align every candidate, then score
       // by the same edit-distance rule. Byte-identical output to the
       // two-phase flow (tests pin this).
+      stage_timer.reset();
       std::vector<std::size_t> offset(reads.size() + 1, 0);
       for (std::size_t i = 0; i < reads.size(); ++i) {
         offset[i + 1] = offset[i] + work[i].cands.size();
@@ -274,6 +344,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
         }
       }
       aligned = engine_.alignBatch(tasks);
+      times_.traceback_s += stage_timer.seconds();
       for (std::size_t i = 0; i < reads.size(); ++i) {
         for (std::size_t c = 0; c < work[i].cands.size(); ++c) {
           const auto& res = aligned[offset[i] + c];
@@ -288,6 +359,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     }
 
     // Stage 3 — serial emission in input order.
+    stage_timer.reset();
     for (std::size_t i = 0; i < reads.size(); ++i) {
       const auto& cands = work[i].cands;
       ++stats_.reads;
@@ -312,6 +384,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       }
       ++stats_.mapped_reads;
     }
+    times_.output_s += stage_timer.seconds();
     return out;
   }
 
@@ -324,6 +397,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   for (std::size_t i = 0; i < reads.size(); ++i) {
     offset[i + 1] = offset[i] + work[i].cands.size();
   }
+  stage_timer.reset();
   std::vector<engine::AlignmentTask> tasks;
   tasks.reserve(offset.back());
   for (std::size_t i = 0; i < reads.size(); ++i) {
@@ -332,9 +406,11 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     }
   }
   const auto results = engine_.alignBatch(tasks);
+  times_.traceback_s += stage_timer.seconds();
 
   // Fold results back per read, pick the primary, score MAPQ, and emit
   // (serial, so output order is input order).
+  stage_timer.reset();
   for (std::size_t i = 0; i < reads.size(); ++i) {
     const auto& read = reads[i];
     const auto& cands = work[i].cands;
@@ -390,6 +466,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     }
     ++stats_.mapped_reads;
   }
+  times_.output_s += stage_timer.seconds();
   return out;
 }
 
@@ -401,9 +478,14 @@ PipelineStats MappingPipeline::run(std::istream& reads_in,
   while (true) {
     const auto batch = reader.nextBatch(batch_reads);
     if (batch.empty()) break;
-    for (const auto& rec : mapBatch(batch)) out.write(rec);
+    const auto records = mapBatch(batch);
+    util::Timer write_timer;
+    for (const auto& rec : records) out.write(rec);
+    times_.output_s += write_timer.seconds();
   }
+  util::Timer flush_timer;
   out.flush();
+  times_.output_s += flush_timer.seconds();
   return stats_ - before;
 }
 

@@ -52,6 +52,16 @@ struct PipelineConfig {
   /// alignment for the winner. Emits byte-identical PAF to the
   /// single-phase primary-only flow; ignored when emit_secondary is set.
   bool two_phase = true;
+  /// Phase-1 scoring through Aligner::distanceBatch: each worker packs
+  /// its chunk's non-chain-best candidates into the backend's
+  /// lane-parallel SIMD kernel, with per-read caps fixed after the
+  /// chain-best alignment. Caps only ever tighten as candidates score,
+  /// so the fixed cap is >= every cap the sequential flow would have
+  /// used — and any cap at or above the dynamic one provably emits the
+  /// identical record (see Pick::scoreCap) — so output stays
+  /// byte-identical to the sequential scalar scoring (and to the
+  /// single-phase flow). Only read by the two-phase flow.
+  bool batched_distance = true;
   /// MAPQ ceiling (minimap2 convention).
   int mapq_cap = 60;
 };
@@ -62,6 +72,25 @@ struct PipelineStats {
   std::size_t unmapped_reads = 0;  ///< reads with no candidate
   std::size_t candidates = 0;      ///< candidate windows dispatched
   std::size_t records = 0;         ///< PAF records emitted
+};
+
+/// Per-stage wall-clock breakdown, accumulated across every mapBatch()/
+/// run() call, so perf work can attribute wins stage by stage. Stage
+/// timers wrap whole (possibly parallel) sections, so the five numbers
+/// sum to roughly the end-to-end mapping wall time.
+struct StageTimes {
+  double index_build_s = 0;     ///< reference indexing (constructor)
+  double seed_chain_s = 0;      ///< minimizer seeding + chaining
+  double phase1_distance_s = 0; ///< two-phase phase 1 (distance scoring)
+  double traceback_s = 0;       ///< full traceback alignment batches
+  double output_s = 0;          ///< record construction + PAF writing
+  friend StageTimes operator-(const StageTimes& a, const StageTimes& b) {
+    return {a.index_build_s - b.index_build_s,
+            a.seed_chain_s - b.seed_chain_s,
+            a.phase1_distance_s - b.phase1_distance_s,
+            a.traceback_s - b.traceback_s,
+            a.output_s - b.output_s};
+  }
 };
 
 class MappingPipeline {
@@ -100,9 +129,16 @@ class MappingPipeline {
   /// Statistics accumulated across every mapBatch()/run() call.
   [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
 
+  /// Per-stage timing accumulated across every mapBatch()/run() call
+  /// (index_build_s is charged once, at construction).
+  [[nodiscard]] const StageTimes& stageTimes() const noexcept {
+    return times_;
+  }
+
  private:
   PipelineConfig cfg_;
   engine::AlignmentEngine engine_;  ///< before mapper_: its pool builds the index
+  StageTimes times_;                ///< before mapper_: ctor times the build
   mapper::Mapper mapper_;
   PipelineStats stats_;
 };

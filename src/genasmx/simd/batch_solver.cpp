@@ -1,0 +1,366 @@
+#include "genasmx/simd/batch_solver.hpp"
+
+#include <algorithm>
+
+#include "genasmx/bitvector/bitvector.hpp"
+#include "genasmx/common/sequence.hpp"
+
+namespace gx::simd {
+namespace {
+
+/// Patterns past this length never reach the lane kernels: the widest
+/// scalar solver instantiation (BitVec<8>) rejects them too, and the
+/// windowed drivers cap windows at 512.
+constexpr int kMaxPatternBits = bitvector::BitVec<8>::kBits;
+
+/// Word w of BitVec::onesAbove(d): bits [0, d) cleared, rest set.
+std::uint64_t onesAboveWord(int d, int w) noexcept {
+  const int lo = w * 64;
+  if (d <= lo) return ~0ULL;
+  if (d >= lo + 64) return 0;
+  return ~0ULL << (d - lo);
+}
+
+detail::FillFn fillFor(IsaLevel isa) noexcept {
+  switch (isa) {
+    case IsaLevel::Avx2: return detail::kFillAvx2;
+    case IsaLevel::Sse2: return detail::kFillSse2;
+    default: return detail::kFillScalar;
+  }
+}
+
+void ensureWords(std::vector<std::uint64_t>& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+}
+
+}  // namespace
+
+SimdBatchSolver::SimdBatchSolver(IsaLevel isa)
+    : isa_(isaSupported(isa) ? isa : IsaLevel::Scalar),
+      lanes_(isaLanes(isa_)),
+      fill_(fillFor(isa_)) {
+  lane_state_.resize(static_cast<std::size_t>(lanes_));
+}
+
+int SimdBatchSolver::packGroup(genasm::Anchor anchor,
+                               const WindowProblem* problems, std::size_t base,
+                               std::size_t group, int& nw, int& n_max) {
+  nw = 1;
+  n_max = 0;
+  int valid = 0;
+  for (int l = 0; l < lanes_; ++l) {
+    Lane& lane = lane_state_[static_cast<std::size_t>(l)];
+    lane = Lane{};
+    if (static_cast<std::size_t>(l) >= group) continue;
+    const WindowProblem& p = problems[base + static_cast<std::size_t>(l)];
+    lane.prob = &p;
+    lane.n = static_cast<int>(p.text.size());
+    lane.m = static_cast<int>(p.pattern.size());
+    if (lane.m <= 0 || lane.m > kMaxPatternBits) continue;  // invalid lane
+    lane.k = p.max_edits >= 0 ? p.max_edits
+                              : genasm::autoEditCap(lane.n, lane.m, anchor);
+    lane.valid = true;
+    lane.active = true;
+    ++valid;
+    nw = std::max(nw, bitvector::wordsNeeded(lane.m));
+    n_max = std::max(n_max, lane.n);
+  }
+  if (valid == 0) return 0;
+
+  // Pack the per-column pattern-mask words, lane index innermost. Lanes
+  // are padded with all-ones (active-low: "no match") past their own
+  // text and in invalid slots; padded columns can never contaminate a
+  // live lane's columns <= n because the recurrence only looks left.
+  const std::size_t colstride =
+      static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
+  const std::size_t pm_words = static_cast<std::size_t>(n_max) * colstride;
+  ensureWords(pm_, pm_words);
+  std::fill(pm_.begin(),
+            pm_.begin() + static_cast<std::ptrdiff_t>(pm_words), ~0ULL);
+  for (int l = 0; l < lanes_; ++l) {
+    const Lane& lane = lane_state_[static_cast<std::size_t>(l)];
+    if (!lane.valid) continue;
+    // mask[c] is PM[c] for the reversed pattern: bit j == 0 iff
+    // pattern_rev[j] == c, i.e. pattern[m-1-j] == c.
+    std::uint64_t mask[common::kAlphabetSize][8];
+    for (auto& row : mask) std::fill(row, row + nw, ~0ULL);
+    const std::string_view pattern = lane.prob->pattern;
+    for (int j = 0; j < lane.m; ++j) {
+      mask[common::baseCode(pattern[static_cast<std::size_t>(lane.m - 1 - j)])]
+          [j >> 6] &= ~(1ULL << (j & 63));
+    }
+    const std::string_view text = lane.prob->text;
+    for (int i = 1; i <= lane.n; ++i) {
+      const std::uint8_t c =
+          common::baseCode(text[static_cast<std::size_t>(lane.n - i)]);
+      std::uint64_t* dst =
+          pm_.data() + static_cast<std::size_t>(i - 1) * colstride +
+          static_cast<std::size_t>(l);
+      for (int w = 0; w < nw; ++w) {
+        dst[static_cast<std::size_t>(w) * lanes_] = mask[c][w];
+      }
+    }
+  }
+  return valid;
+}
+
+void SimdBatchSolver::runDistanceGroup(genasm::Anchor anchor,
+                                       std::size_t group, int nw, int n_max,
+                                       int valid) {
+  (void)group;
+  const std::size_t colstride =
+      static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
+  const std::size_t row_words =
+      static_cast<std::size_t>(n_max + 1) * colstride;
+  ensureWords(row_a_, row_words);
+  ensureWords(row_b_, row_words);
+  std::uint64_t* cur = row_a_.data();
+  std::uint64_t* prev = row_b_.data();
+  const bool both = anchor == genasm::Anchor::BothEnds;
+
+  int remaining = valid;
+  for (int d = 0; remaining > 0; ++d) {
+    int n_act = 0;
+    for (const Lane& lane : lane_state_) {
+      if (lane.active) n_act = std::max(n_act, lane.n);
+    }
+    for (int w = 0; w < nw; ++w) {
+      const std::uint64_t v = onesAboveWord(d, w);
+      std::uint64_t* dst = cur + static_cast<std::size_t>(w) * lanes_;
+      for (int l = 0; l < lanes_; ++l) dst[l] = v;
+    }
+    fill_(detail::FillArgs{cur, prev, pm_.data(), n_act, nw, d, both});
+    for (int l = 0; l < lanes_; ++l) {
+      Lane& lane = lane_state_[static_cast<std::size_t>(l)];
+      if (!lane.active) continue;
+      const int mb = lane.m - 1;
+      const std::uint64_t v =
+          cur[(static_cast<std::size_t>(lane.n) * nw +
+               static_cast<std::size_t>(mb >> 6)) *
+                  lanes_ +
+              static_cast<std::size_t>(l)];
+      if (((v >> (mb & 63)) & 1) == 0) {
+        lane.dmin = d;
+        lane.active = false;
+        --remaining;
+      } else if (d == lane.k) {
+        lane.dmin = -1;
+        lane.active = false;
+        --remaining;
+      }
+    }
+    std::swap(cur, prev);
+  }
+}
+
+void SimdBatchSolver::runWindowGroup(genasm::Anchor anchor, std::size_t group,
+                                     int nw, int n_max, int valid,
+                                     WindowOutcome* outs) {
+  const std::size_t colstride =
+      static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
+  const std::size_t row_words =
+      static_cast<std::size_t>(n_max + 1) * colstride;
+  const bool both = anchor == genasm::Anchor::BothEnds;
+
+  // Level-major fill with per-level row persistence: the arena grows one
+  // row at a time (monotonically across groups), so lanes that converge
+  // early never claim deeper levels.
+  int remaining = valid;
+  for (int d = 0; remaining > 0; ++d) {
+    ensureWords(rows_, static_cast<std::size_t>(d + 1) * row_words);
+    std::uint64_t* cur = rows_.data() + static_cast<std::size_t>(d) * row_words;
+    const std::uint64_t* prev =
+        d > 0 ? rows_.data() + static_cast<std::size_t>(d - 1) * row_words
+              : nullptr;
+    int n_act = 0;
+    for (const Lane& lane : lane_state_) {
+      if (lane.active) n_act = std::max(n_act, lane.n);
+    }
+    for (int w = 0; w < nw; ++w) {
+      const std::uint64_t v = onesAboveWord(d, w);
+      std::uint64_t* dst = cur + static_cast<std::size_t>(w) * lanes_;
+      for (int l = 0; l < lanes_; ++l) dst[l] = v;
+    }
+    fill_(detail::FillArgs{cur, prev, pm_.data(), n_act, nw, d, both});
+    for (int l = 0; l < lanes_; ++l) {
+      Lane& lane = lane_state_[static_cast<std::size_t>(l)];
+      if (!lane.active) continue;
+      const int mb = lane.m - 1;
+      const std::uint64_t v =
+          cur[(static_cast<std::size_t>(lane.n) * nw +
+               static_cast<std::size_t>(mb >> 6)) *
+                  lanes_ +
+              static_cast<std::size_t>(l)];
+      if (((v >> (mb & 63)) & 1) == 0) {
+        lane.dmin = d;
+        lane.active = false;
+        --remaining;
+      } else if (d == lane.k) {
+        lane.dmin = -1;
+        lane.active = false;
+        --remaining;
+      }
+    }
+  }
+
+  for (int l = 0; l < lanes_ && static_cast<std::size_t>(l) < group; ++l) {
+    const Lane& lane = lane_state_[static_cast<std::size_t>(l)];
+    WindowOutcome& out = outs[l];
+    out = WindowOutcome{};
+    if (!lane.valid || lane.dmin < 0) continue;  // ok stays false
+    out.distance = lane.dmin;
+    out.ok = tracebackLane(anchor, lane, l, nw, n_max, out);
+  }
+}
+
+/// Per-lane scalar traceback over the persisted SoA rows — the improved
+/// solver's compressed-entry walk (recompute transition bits from stored
+/// R values), counting committed operations instead of building a cigar.
+/// Identical operation sequence, therefore identical edit totals and
+/// consumption, for both window solvers (their tracebacks agree bit for
+/// bit; tests pin this).
+///
+/// LOCKSTEP WARNING: this walk must mirror ImprovedWindowSolver::
+/// traceback (and the baseline's) exactly — transition-bit derivation,
+/// the match > del > ins > sub priority, and the pl==0 / i==0 /
+/// tb_op_limit branches. Any change to a solver traceback must be
+/// mirrored here or the batched distance march silently diverges from
+/// the scalar flows (test_simd's window-solve and march parity suites
+/// are the tripwire).
+bool SimdBatchSolver::tracebackLane(genasm::Anchor anchor, const Lane& lane,
+                                    int lane_idx, int nw, int n_max,
+                                    WindowOutcome& out) const {
+  const std::size_t colstride =
+      static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
+  const std::size_t row_words =
+      static_cast<std::size_t>(n_max + 1) * colstride;
+  const std::string_view text = lane.prob->text;
+  const std::string_view pattern = lane.prob->pattern;
+  const int n = lane.n;
+  const int m = lane.m;
+
+  // Stored R[col][lvl] bit, active-low (see ImprovedWindowSolver::
+  // rBitIsOne): bitidx -1 is the empty-prefix state, column 0 is
+  // analytic (onesAbove(lvl)).
+  const auto rBitIsOne = [&](int col, int lvl, int bitidx) -> bool {
+    if (bitidx < 0) return genasm::shiftInOne(anchor, col, lvl);
+    if (col == 0) return bitidx >= lvl;
+    const std::uint64_t v =
+        rows_[static_cast<std::size_t>(lvl) * row_words +
+              (static_cast<std::size_t>(col) * nw +
+               static_cast<std::size_t>(bitidx >> 6)) *
+                  lanes_ +
+              static_cast<std::size_t>(lane_idx)];
+    return ((v >> (bitidx & 63)) & 1) != 0;
+  };
+
+  int i = n;
+  int pl = m;
+  int d = lane.dmin;
+  const int limit_ops = lane.prob->tb_op_limit;
+  const std::uint64_t limit =
+      limit_ops < 0 ? ~0ULL : static_cast<std::uint64_t>(limit_ops);
+  std::uint64_t ops = 0;
+  const bool both = anchor == genasm::Anchor::BothEnds;
+
+  while (pl > 0 || (both && i > 0)) {
+    if (ops >= limit) return true;  // truncated (traceback incomplete)
+    if (pl == 0) {
+      // BothEnds tail: unconsumed reversed-text prefix becomes trailing
+      // deletions in original orientation.
+      const std::uint64_t take =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(i), limit - ops);
+      out.text_consumed += take;
+      out.edits += take;
+      ops += take;
+      i -= static_cast<int>(take);
+      d -= static_cast<int>(take);
+      continue;
+    }
+    if (i == 0) {
+      if (d >= 1 && pl <= d) {
+        out.pattern_consumed += 1;
+        out.edits += 1;
+        --pl;
+        --d;
+        ++ops;
+        continue;
+      }
+      return false;  // inconsistent table (must not happen)
+    }
+    // text_rev[i-1] == text[n-i]; pattern_rev[pl-1] == pattern[m-pl].
+    const bool match_ok =
+        common::baseCode(pattern[static_cast<std::size_t>(m - pl)]) ==
+            common::baseCode(text[static_cast<std::size_t>(n - i)]) &&
+        !rBitIsOne(i - 1, d, pl - 2);
+    const bool del_ok = d >= 1 && !rBitIsOne(i - 1, d - 1, pl - 1);
+    const bool ins_ok = d >= 1 && !rBitIsOne(i, d - 1, pl - 2);
+    const bool sub_ok = d >= 1 && !rBitIsOne(i - 1, d - 1, pl - 2);
+    // Priority match > del > ins > sub — identical to both solvers'
+    // tracebacks (indels commit eagerly; see the baseline's note).
+    if (match_ok) {
+      out.text_consumed += 1;
+      out.pattern_consumed += 1;
+      --i;
+      --pl;
+    } else if (del_ok) {
+      out.text_consumed += 1;
+      out.edits += 1;
+      --i;
+      --d;
+    } else if (ins_ok) {
+      out.pattern_consumed += 1;
+      out.edits += 1;
+      --pl;
+      --d;
+    } else if (sub_ok) {
+      out.text_consumed += 1;
+      out.pattern_consumed += 1;
+      out.edits += 1;
+      --i;
+      --pl;
+      --d;
+    } else {
+      return false;  // inconsistent table (must not happen)
+    }
+    ++ops;
+  }
+  return true;
+}
+
+void SimdBatchSolver::solveDistanceBatch(genasm::Anchor anchor,
+                                         const WindowProblem* problems,
+                                         std::size_t count, int* results) {
+  for (std::size_t base = 0; base < count;
+       base += static_cast<std::size_t>(lanes_)) {
+    const std::size_t group =
+        std::min<std::size_t>(static_cast<std::size_t>(lanes_), count - base);
+    int nw = 1;
+    int n_max = 0;
+    const int valid = packGroup(anchor, problems, base, group, nw, n_max);
+    if (valid > 0) runDistanceGroup(anchor, group, nw, n_max, valid);
+    for (std::size_t l = 0; l < group; ++l) {
+      results[base + l] = lane_state_[l].valid ? lane_state_[l].dmin : -1;
+    }
+  }
+}
+
+void SimdBatchSolver::solveWindowBatch(genasm::Anchor anchor,
+                                       const WindowProblem* problems,
+                                       std::size_t count, WindowOutcome* outs) {
+  for (std::size_t base = 0; base < count;
+       base += static_cast<std::size_t>(lanes_)) {
+    const std::size_t group =
+        std::min<std::size_t>(static_cast<std::size_t>(lanes_), count - base);
+    int nw = 1;
+    int n_max = 0;
+    const int valid = packGroup(anchor, problems, base, group, nw, n_max);
+    if (valid > 0) {
+      runWindowGroup(anchor, group, nw, n_max, valid, outs + base);
+    } else {
+      for (std::size_t l = 0; l < group; ++l) outs[base + l] = WindowOutcome{};
+    }
+  }
+}
+
+}  // namespace gx::simd

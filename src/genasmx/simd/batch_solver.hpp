@@ -1,0 +1,119 @@
+#pragma once
+// SimdBatchSolver — lane-parallel batched GenASM kernels.
+//
+// The paper's central observation is that windowed alignment is a pile
+// of small independent bitvector DPs; per-window cost is low, so real
+// throughput comes from running many windows at once. This solver packs
+// L independent window problems into structure-of-arrays SIMD lanes
+// (AVX2 4x64, SSE2 2x64, scalar 1x64 — see dispatch.hpp) and advances
+// every lane through the shared level-major DP loop, masking lanes off
+// as they converge or exceed their per-lane edit cap.
+//
+// Two entry points, both with a hard bit-identical guarantee:
+//
+//   * solveDistanceBatch — the two-working-row distance kernel: every
+//     lane result equals BaselineWindowSolver/ImprovedWindowSolver::
+//     solveDistance on the same (reversed) inputs. No row persistence.
+//   * solveWindowBatch — the full window solve the windowed drivers
+//     march on: the DP fill runs lane-parallel with per-level row
+//     persistence, then a per-lane scalar traceback (the improved
+//     solver's compressed-entry walk) reproduces solve()'s committed
+//     operation counts exactly — distance, edit total, and text/pattern
+//     consumption match WindowResult field for field.
+//
+// Inputs are taken in ORIGINAL orientation; the solver indexes them
+// reversed internally (text_rev[i-1] == text[n-i]), so callers skip the
+// per-problem reversal copies the scalar path pays.
+//
+// Instances own monotone scratch arenas and are not thread-safe: keep
+// one per worker (the engine's aligners each hold one).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/genasm/genasm_common.hpp"
+#include "genasmx/simd/dispatch.hpp"
+#include "genasmx/simd/kernels.hpp"
+
+namespace gx::simd {
+
+/// One window problem, original orientation. max_edits is the per-lane
+/// level cap (-1 = the always-solvable autoEditCap); tb_op_limit bounds
+/// the traceback in solveWindowBatch (ignored by solveDistanceBatch).
+struct WindowProblem {
+  std::string_view text;
+  std::string_view pattern;
+  int max_edits = -1;
+  int tb_op_limit = -1;
+};
+
+/// solveWindowBatch outcome: the WindowResult-derived values the
+/// windowed distance march consumes. `edits`/`text_consumed`/
+/// `pattern_consumed` are the committed cigar's editDistance(),
+/// targetLength(), and queryLength() (post tb_op_limit truncation).
+struct WindowOutcome {
+  bool ok = false;
+  int distance = -1;
+  std::uint64_t edits = 0;
+  std::uint64_t text_consumed = 0;
+  std::uint64_t pattern_consumed = 0;
+};
+
+class SimdBatchSolver {
+ public:
+  /// Unsupported levels are clamped downward (Avx2 -> Sse2 -> Scalar).
+  explicit SimdBatchSolver(IsaLevel isa = activeIsa());
+
+  [[nodiscard]] IsaLevel isa() const noexcept { return isa_; }
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+
+  /// results[i] = d_min of problems[i], or -1 when unsolvable within the
+  /// cap (or the pattern is empty / beyond 512 characters) — exactly the
+  /// scalar solveDistance contract. Any count; lanes are grouped
+  /// internally.
+  void solveDistanceBatch(genasm::Anchor anchor, const WindowProblem* problems,
+                          std::size_t count, int* results);
+
+  /// outs[i] mirrors the scalar window solve of problems[i] (see
+  /// WindowOutcome). Any count.
+  void solveWindowBatch(genasm::Anchor anchor, const WindowProblem* problems,
+                        std::size_t count, WindowOutcome* outs);
+
+ private:
+  struct Lane {
+    int n = 0;
+    int m = 0;
+    int k = 0;
+    int dmin = -1;
+    bool valid = false;
+    bool active = false;
+    const WindowProblem* prob = nullptr;
+  };
+
+  /// Decode a group of <= lanes_ problems, pick the group geometry
+  /// (nw = words covering the widest pattern, n_max), and pack the
+  /// per-column pattern-mask words. Returns the number of valid lanes.
+  int packGroup(genasm::Anchor anchor, const WindowProblem* problems,
+                std::size_t base, std::size_t group, int& nw, int& n_max);
+
+  void runDistanceGroup(genasm::Anchor anchor, std::size_t group, int nw,
+                        int n_max, int valid);
+  void runWindowGroup(genasm::Anchor anchor, std::size_t group, int nw,
+                      int n_max, int valid, WindowOutcome* outs);
+
+  [[nodiscard]] bool tracebackLane(genasm::Anchor anchor, const Lane& lane,
+                                   int lane_idx, int nw, int n_max,
+                                   WindowOutcome& out) const;
+
+  IsaLevel isa_;
+  int lanes_;
+  detail::FillFn fill_;
+  std::vector<Lane> lane_state_;
+  std::vector<std::uint64_t> pm_;     ///< n_max x nw x L mask words
+  std::vector<std::uint64_t> row_a_;  ///< two-row distance mode
+  std::vector<std::uint64_t> row_b_;
+  std::vector<std::uint64_t> rows_;   ///< per-level persisted rows
+};
+
+}  // namespace gx::simd

@@ -264,6 +264,67 @@ TEST(Index, ParallelBuildIsIdenticalToSerial) {
   EXPECT_EQ(total, serial.size());
 }
 
+TEST(Index, BlockSplitExtractionIsIdenticalToMonolithic) {
+  // Block-split extraction of one sequence reproduces the monolithic
+  // pick sequence exactly: the warm-up window reconstructs the
+  // duplicate-suppression state across every block boundary.
+  readsim::GenomeConfig gcfg;
+  gcfg.length = 50'000;
+  gcfg.seed = 99;
+  gcfg.repeat_fraction = 0.3;  // repeats stress the suppression state
+  const auto genome = readsim::generateGenome(gcfg);
+  const auto whole = extractMinimizers(genome, 15, 10);
+  for (const std::size_t block : {1'000UL, 4'096UL, 49'999UL}) {
+    std::vector<Minimizer> stitched;
+    for (std::size_t start = 0; start < genome.size(); start += block) {
+      const std::size_t end = std::min(genome.size(), start + block);
+      const std::size_t tstart = start >= 10 ? start - 10 : 0;
+      const std::size_t tend = std::min(genome.size(), end + 14);
+      const auto part =
+          extractMinimizers(std::string_view(genome).substr(tstart,
+                                                            tend - tstart),
+                            15, 10, start - tstart);
+      for (Minimizer m : part) {
+        m.pos += static_cast<std::uint32_t>(tstart);
+        stitched.push_back(m);
+      }
+    }
+    ASSERT_EQ(stitched.size(), whole.size()) << "block=" << block;
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(stitched[i].key, whole[i].key) << i;
+      EXPECT_EQ(stitched[i].pos, whole[i].pos) << i;
+      EXPECT_EQ(stitched[i].reverse, whole[i].reverse) << i;
+    }
+  }
+}
+
+TEST(Index, LargeContigBlockBuildIsIdenticalAcrossBlockSizesAndPools) {
+  // A single-contig reference: the build must fan out over blocks and
+  // still produce a bit-identical index for every (block size, pool)
+  // schedule, including the no-split monolithic build.
+  readsim::GenomeConfig gcfg;
+  gcfg.length = 120'000;
+  gcfg.seed = 123;
+  gcfg.repeat_fraction = 0.25;
+  refmodel::Reference ref;
+  ref.addContig("chrOnly", readsim::generateGenome(gcfg));
+
+  MinimizerIndex mono;
+  mono.build(ref, 15, 10, 64, nullptr, /*block_bp=*/0);
+  EXPECT_GT(mono.size(), 0u);
+  util::ThreadPool pool(4);
+  for (const std::size_t block : {3'000UL, 10'000UL, 1UL << 18}) {
+    MinimizerIndex serial, parallel;
+    serial.build(ref, 15, 10, 64, nullptr, block);
+    parallel.build(ref, 15, 10, 64, &pool, block);
+    EXPECT_TRUE(mono == serial) << "block=" << block;
+    EXPECT_TRUE(serial == parallel) << "block=" << block;
+  }
+  // Per-contig stats still line up after block accumulation.
+  ASSERT_EQ(mono.perContigKept().size(), 1u);
+  EXPECT_EQ(mono.perContigKept()[0], mono.size());
+}
+
 TEST(Index, MultiContigBuildNeverEmitsCrossBoundarySeeds) {
   // Contig-sharded extraction vs flat extraction over the concatenation:
   // the only missing minimizers must be boundary-window artifacts, and

@@ -193,10 +193,11 @@ TEST(MappingPipeline, TwoPhasePafIsByteIdenticalToSinglePhase) {
   std::ostringstream fq;
   io::writeFastx(fq, fastx);
 
-  auto run = [&](bool two_phase, std::size_t threads) {
+  auto run = [&](bool two_phase, std::size_t threads, bool batched) {
     PipelineConfig cfg;
     cfg.emit_secondary = false;
     cfg.two_phase = two_phase;
+    cfg.batched_distance = batched;
     cfg.engine.threads = threads;
     cfg.batch_reads = 11;
     MappingPipeline pipe("ref", std::string(genome), cfg);
@@ -208,11 +209,17 @@ TEST(MappingPipeline, TwoPhasePafIsByteIdenticalToSinglePhase) {
     return out.str();
   };
 
-  const std::string single1 = run(false, 1);
+  const std::string single1 = run(false, 1, true);
   ASSERT_FALSE(single1.empty());
-  EXPECT_EQ(single1, run(true, 1));
-  EXPECT_EQ(single1, run(true, 8));
-  EXPECT_EQ(single1, run(false, 8));
+  EXPECT_EQ(single1, run(true, 1, true));
+  EXPECT_EQ(single1, run(true, 8, true));
+  EXPECT_EQ(single1, run(false, 8, true));
+  // The runs above used the default SIMD-batched phase 1 (frozen
+  // per-read caps); the sequential dynamically-capped scalar scoring
+  // must emit the identical records at 1 and 8 threads — the batched
+  // flow's loosened caps are provably output-preserving.
+  EXPECT_EQ(single1, run(true, 1, false));
+  EXPECT_EQ(single1, run(true, 8, false));
 }
 
 // ------------------------------------------------------- multi-contig

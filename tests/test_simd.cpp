@@ -1,0 +1,329 @@
+// SimdBatchSolver contract: every lane result is bit-identical to the
+// scalar solver on the same problem, for every supported ISA level and
+// the forced scalar-lane fallback. This is the guarantee the batched
+// distance path in the engine and the two-phase mapping flow rest on,
+// so it is hammered fuzz-style: window widths across the 64/128/256/512
+// instantiations, ragged batch sizes around the lane count, cap
+// saturation, degenerate shapes, and the full windowed-distance march.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "genasmx/bitvector/bitvector.hpp"
+#include "genasmx/common/sequence.hpp"
+#include "genasmx/core/genasm_improved.hpp"
+#include "genasmx/core/windowed.hpp"
+#include "genasmx/genasm/genasm_baseline.hpp"
+#include "genasmx/simd/batch_solver.hpp"
+#include "genasmx/simd/dispatch.hpp"
+#include "genasmx/util/prng.hpp"
+
+namespace gx {
+namespace {
+
+std::vector<simd::IsaLevel> supportedLevels() {
+  std::vector<simd::IsaLevel> out = {simd::IsaLevel::Scalar};
+  if (simd::isaSupported(simd::IsaLevel::Sse2)) {
+    out.push_back(simd::IsaLevel::Sse2);
+  }
+  if (simd::isaSupported(simd::IsaLevel::Avx2)) {
+    out.push_back(simd::IsaLevel::Avx2);
+  }
+  return out;
+}
+
+/// Scalar reference at the width the production aligners would pick for
+/// this pattern (wordsNeeded), for both window solvers.
+template <int NW>
+int scalarDistanceAt(std::string_view t_rev, std::string_view q_rev,
+                     const genasm::WindowSpec& spec, bool baseline) {
+  if (baseline) {
+    genasm::BaselineWindowSolver<NW> solver;
+    return solver.solveDistance(t_rev, q_rev, spec);
+  }
+  core::ImprovedWindowSolver<NW> solver;
+  return solver.solveDistance(t_rev, q_rev, spec);
+}
+
+int scalarDistance(const simd::WindowProblem& p, genasm::Anchor anchor,
+                   bool baseline) {
+  const auto t_rev = common::reversed(p.text);
+  const auto q_rev = common::reversed(p.pattern);
+  genasm::WindowSpec spec;
+  spec.anchor = anchor;
+  spec.max_edits = p.max_edits;
+  const int nw =
+      bitvector::wordsNeeded(static_cast<int>(p.pattern.size()));
+  switch (nw) {
+    case 1: return scalarDistanceAt<1>(t_rev, q_rev, spec, baseline);
+    case 2: return scalarDistanceAt<2>(t_rev, q_rev, spec, baseline);
+    case 3: return scalarDistanceAt<3>(t_rev, q_rev, spec, baseline);
+    case 4: return scalarDistanceAt<4>(t_rev, q_rev, spec, baseline);
+    case 5: return scalarDistanceAt<5>(t_rev, q_rev, spec, baseline);
+    case 6: return scalarDistanceAt<6>(t_rev, q_rev, spec, baseline);
+    case 7: return scalarDistanceAt<7>(t_rev, q_rev, spec, baseline);
+    default: return scalarDistanceAt<8>(t_rev, q_rev, spec, baseline);
+  }
+}
+
+template <int NW>
+genasm::WindowResult scalarSolveAt(std::string_view t_rev,
+                                   std::string_view q_rev,
+                                   const genasm::WindowSpec& spec,
+                                   bool baseline) {
+  if (baseline) {
+    genasm::BaselineWindowSolver<NW> solver;
+    return solver.solve(t_rev, q_rev, spec);
+  }
+  core::ImprovedWindowSolver<NW> solver;
+  return solver.solve(t_rev, q_rev, spec);
+}
+
+genasm::WindowResult scalarSolve(const simd::WindowProblem& p,
+                                 genasm::Anchor anchor, bool baseline) {
+  const auto t_rev = common::reversed(p.text);
+  const auto q_rev = common::reversed(p.pattern);
+  genasm::WindowSpec spec;
+  spec.anchor = anchor;
+  spec.max_edits = p.max_edits;
+  spec.tb_op_limit = p.tb_op_limit;
+  const int nw =
+      bitvector::wordsNeeded(static_cast<int>(p.pattern.size()));
+  switch (nw) {
+    case 1: return scalarSolveAt<1>(t_rev, q_rev, spec, baseline);
+    case 2: return scalarSolveAt<2>(t_rev, q_rev, spec, baseline);
+    case 4: return scalarSolveAt<4>(t_rev, q_rev, spec, baseline);
+    default: return scalarSolveAt<8>(t_rev, q_rev, spec, baseline);
+  }
+}
+
+/// Random window problems with a mix of widths (pattern length up to
+/// `max_m`), error levels, caps, and traceback limits. Backing strings
+/// are owned by `store` so the views stay alive.
+std::vector<simd::WindowProblem> randomProblems(
+    util::Xoshiro256& rng, std::size_t count, std::size_t max_m,
+    std::vector<std::string>& store) {
+  std::vector<simd::WindowProblem> out;
+  // Short strings live in SSO storage, which vector reallocation moves;
+  // reserve up front so the views handed out stay valid.
+  store.reserve(store.size() + 2 * count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t m = 1 + rng.below(max_m);
+    const std::size_t n = 1 + rng.below(max_m + max_m / 2);
+    store.push_back(common::randomSequence(rng, n));
+    const std::string& text = store.back();
+    // Half the patterns derive from the text (realistic low distances,
+    // exercises convergence masking); half are unrelated (cap blowups).
+    if (rng.below(2) == 0) {
+      store.push_back(common::mutateSequence(
+          rng, std::string_view(text).substr(0, std::min(n, m)),
+          rng.below(m / 4 + 2)));
+      if (store.back().empty() || store.back().size() > max_m) {
+        store.back() = common::randomSequence(rng, m);
+      }
+    } else {
+      store.push_back(common::randomSequence(rng, m));
+    }
+    simd::WindowProblem p;
+    p.text = text;
+    p.pattern = store.back();
+    // Cap mix: always-solvable, saturating-small, and mid caps.
+    const int mode = static_cast<int>(rng.below(4));
+    p.max_edits = mode == 0 ? -1
+                  : mode == 1 ? static_cast<int>(rng.below(3))
+                              : static_cast<int>(rng.below(m + 4));
+    p.tb_op_limit =
+        rng.below(3) == 0 ? static_cast<int>(1 + rng.below(m + 8)) : -1;
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndForceClamps) {
+  EXPECT_TRUE(simd::isaSupported(simd::IsaLevel::Scalar));
+  const auto active = simd::activeIsa();
+  EXPECT_TRUE(simd::isaSupported(active));
+  // Forcing an unsupported level clamps to a supported one.
+  const auto forced = simd::forceIsa(simd::IsaLevel::Avx2);
+  EXPECT_TRUE(simd::isaSupported(forced));
+  EXPECT_EQ(simd::forceIsa(simd::IsaLevel::Scalar), simd::IsaLevel::Scalar);
+  simd::forceIsa(active);  // restore
+  EXPECT_FALSE(simd::isaName(active).empty());
+  EXPECT_EQ(simd::isaLanes(simd::IsaLevel::Scalar), 1);
+}
+
+TEST(SimdBatchDistance, MatchesScalarSolveDistanceAcrossWidths) {
+  // Width classes straddling every BitVec instantiation the production
+  // dispatch uses: 64 / 128 / 256 / 512 plus ragged in-between sizes.
+  for (const std::size_t max_m : {64UL, 128UL, 256UL, 512UL}) {
+    util::Xoshiro256 rng(1000 + max_m);
+    std::vector<std::string> store;
+    const auto problems = randomProblems(rng, 48, max_m, store);
+    for (const auto level : supportedLevels()) {
+      simd::SimdBatchSolver solver(level);
+      for (const auto anchor :
+           {genasm::Anchor::StartOnly, genasm::Anchor::BothEnds}) {
+        std::vector<int> got(problems.size(), -2);
+        solver.solveDistanceBatch(anchor, problems.data(), problems.size(),
+                                  got.data());
+        for (std::size_t i = 0; i < problems.size(); ++i) {
+          const int want = scalarDistance(problems[i], anchor, false);
+          EXPECT_EQ(got[i], want)
+              << simd::isaName(level) << " i=" << i << " max_m=" << max_m
+              << " |t|=" << problems[i].text.size()
+              << " |q|=" << problems[i].pattern.size()
+              << " k=" << problems[i].max_edits;
+          // The baseline solver's distance kernel agrees too.
+          EXPECT_EQ(scalarDistance(problems[i], anchor, true), want);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBatchDistance, RaggedBatchSizesAroundTheLaneCount) {
+  util::Xoshiro256 rng(77);
+  std::vector<std::string> store;
+  const auto all = randomProblems(rng, 32, 80, store);
+  for (const auto level : supportedLevels()) {
+    simd::SimdBatchSolver solver(level);
+    const std::size_t lanes = static_cast<std::size_t>(solver.lanes());
+    for (std::size_t batch = 1; batch <= lanes + 3; ++batch) {
+      std::vector<int> got(batch, -2);
+      solver.solveDistanceBatch(genasm::Anchor::BothEnds, all.data(), batch,
+                                got.data());
+      for (std::size_t i = 0; i < batch; ++i) {
+        EXPECT_EQ(got[i],
+                  scalarDistance(all[i], genasm::Anchor::BothEnds, false))
+            << simd::isaName(level) << " batch=" << batch << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdBatchDistance, DegenerateShapes) {
+  util::Xoshiro256 rng(5);
+  const std::string text = common::randomSequence(rng, 600);
+  const std::string big(600, 'A');
+  const std::vector<simd::WindowProblem> problems = {
+      {text, "", -1, -1},                         // empty pattern -> -1
+      {text, big, -1, -1},                        // pattern > 512 -> -1
+      {"", "ACGT", -1, -1},                       // empty text
+      {"", "ACGT", 2, -1},                        // empty text, capped out
+      {std::string_view(text).substr(0, 64),
+       std::string_view(text).substr(0, 64), 0, -1},  // exact match, k=0
+  };
+  for (const auto level : supportedLevels()) {
+    simd::SimdBatchSolver solver(level);
+    std::vector<int> got(problems.size(), -2);
+    solver.solveDistanceBatch(genasm::Anchor::BothEnds, problems.data(),
+                              problems.size(), got.data());
+    EXPECT_EQ(got[0], -1);
+    EXPECT_EQ(got[1], -1);
+    // Empty text, pattern of 4: four insertions (or capped out at 2).
+    EXPECT_EQ(got[2], 4);
+    EXPECT_EQ(got[3], -1);
+    EXPECT_EQ(got[4], 0);
+  }
+}
+
+TEST(SimdWindowBatch, MatchesScalarSolveForBothSolvers) {
+  util::Xoshiro256 rng(4242);
+  std::vector<std::string> store;
+  // Window-march shapes: patterns up to one window, tb limits like the
+  // mid-window W-O truncation.
+  const auto problems = randomProblems(rng, 64, 64, store);
+  for (const auto level : supportedLevels()) {
+    simd::SimdBatchSolver solver(level);
+    for (const auto anchor :
+         {genasm::Anchor::StartOnly, genasm::Anchor::BothEnds}) {
+      std::vector<simd::WindowOutcome> got(problems.size());
+      solver.solveWindowBatch(anchor, problems.data(), problems.size(),
+                              got.data());
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        for (const bool baseline : {false, true}) {
+          const auto want = scalarSolve(problems[i], anchor, baseline);
+          EXPECT_EQ(got[i].ok, want.ok)
+              << simd::isaName(level) << " i=" << i << " bl=" << baseline;
+          if (!want.ok) continue;
+          EXPECT_EQ(got[i].distance, want.distance) << i;
+          EXPECT_EQ(got[i].edits, want.cigar.editDistance()) << i;
+          EXPECT_EQ(got[i].text_consumed, want.cigar.targetLength()) << i;
+          EXPECT_EQ(got[i].pattern_consumed, want.cigar.queryLength()) << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdWindowedMarch, MatchesScalarDistanceWindowedWithCaps) {
+  util::Xoshiro256 rng(9090);
+  for (const int window : {64, 128}) {
+    core::WindowConfig cfg;
+    cfg.window = window;
+    cfg.overlap = window / 3;
+    std::vector<std::string> store;
+    store.reserve(40);
+    std::vector<core::BatchedDistanceRequest> requests;
+    std::vector<int> want;
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t qlen = 300 + rng.below(1200);
+      store.push_back(common::randomSequence(rng, qlen + rng.below(200)));
+      const std::string& t = store.back();
+      store.push_back(
+          common::mutateSequence(rng, t.substr(0, qlen), rng.below(qlen / 6)));
+      const std::string& q = store.back();
+      // Reference march (improved solver at the production width).
+      core::ImprovedOptions opts;
+      const int ed = core::distanceWindowedImproved(t, q, cfg, opts, -1);
+      const int mode = static_cast<int>(rng.below(4));
+      const int cap = mode == 0   ? -1
+                      : mode == 1 ? ed
+                      : mode == 2 ? (ed > 0 ? ed - 1 : 0)
+                                  : ed / 2;
+      requests.push_back({t, q, cap});
+      want.push_back(core::distanceWindowedImproved(t, q, cfg, opts, cap));
+      // The baseline march agrees with the improved one (shared
+      // windowing, identical per-window results).
+      EXPECT_EQ(core::distanceWindowedBaseline(t, q, cfg, cap), want.back());
+    }
+    for (const auto level : supportedLevels()) {
+      simd::SimdBatchSolver solver(level);
+      std::vector<int> got(requests.size(), -2);
+      core::distanceWindowedBatch(solver, cfg, requests.data(),
+                                  requests.size(), got.data());
+      EXPECT_EQ(got, want) << simd::isaName(level) << " window=" << window;
+    }
+  }
+}
+
+TEST(SimdWindowedMarch, EmptyAndShortRequests) {
+  core::WindowConfig cfg;
+  util::Xoshiro256 rng(3);
+  const auto t = common::randomSequence(rng, 300);
+  const std::vector<core::BatchedDistanceRequest> requests = {
+      {t, "", -1},                                    // all deletions
+      {t, "", 10},                                    // capped out
+      {"", std::string_view(t).substr(0, 40), -1},    // all insertions
+      {t, std::string_view(t).substr(0, 40), -1},     // final-window only
+  };
+  for (const auto level : supportedLevels()) {
+    simd::SimdBatchSolver solver(level);
+    std::vector<int> got(requests.size(), -2);
+    core::distanceWindowedBatch(solver, cfg, requests.data(), requests.size(),
+                                got.data());
+    EXPECT_EQ(got[0], static_cast<int>(t.size()));
+    EXPECT_EQ(got[1], -1);
+    EXPECT_EQ(got[2], 40);
+    core::WindowBuffers bufs;
+    core::ImprovedWindowSolver<1> ref;
+    EXPECT_EQ(got[3], core::distanceWindowed(ref, t,
+                                             std::string_view(t).substr(0, 40),
+                                             cfg, -1, bufs));
+  }
+}
+
+}  // namespace
+}  // namespace gx

@@ -253,5 +253,15 @@ int main(int argc, char** argv) {
                stats.unmapped_reads, stats.candidates, stats.records,
                map_seconds > 0 ? static_cast<double>(stats.reads) / map_seconds
                                : 0.0);
+  // Per-stage breakdown so perf work can attribute wins. Phase-1 /
+  // phase-2 split only exists in the two-phase flow; the full-alignment
+  // flows charge their engine batches to the traceback stage.
+  const pipeline::StageTimes& st = pipe->stageTimes();
+  std::fprintf(stderr,
+               "[%.2fs] stage breakdown: index-build %.2fs, seed+chain "
+               "%.2fs, phase1-distance %.2fs, phase2-traceback %.2fs, "
+               "output %.2fs\n",
+               timer.seconds(), st.index_build_s, st.seed_chain_s,
+               st.phase1_distance_s, st.traceback_s, st.output_s);
   return 0;
 }
