@@ -209,6 +209,103 @@ int runTracked(bench::WorkloadConfig cfg) {
               dwin.size(), std::string(simd::isaName(isa)).c_str(),
               batch_solver.lanes(), dscalar_wps, dbatch_wps, dspeedup);
 
+  // --- alignment kernel: scalar solve (fill + traceback) vs the
+  // lane-parallel alignBatch over the same W=64 window problems. The
+  // per-level persisted rows make the batched fill heavier than the
+  // distance kernel's two-row ping-pong, so this is tracked separately;
+  // both paths must agree cigar for cigar.
+  std::vector<genasm::WindowResult> a_scalar(dwin.size());
+  std::vector<genasm::WindowResult> a_batched(dwin.size());
+  for (std::size_t i = 0; i < dwin.size(); ++i) {
+    a_scalar[i] = solver.solve(d_rev[2 * i], d_rev[2 * i + 1], dspec);
+  }
+  util::Timer t_ascalar;
+  for (std::size_t i = 0; i < dwin.size(); ++i) {
+    a_scalar[i] = solver.solve(d_rev[2 * i], d_rev[2 * i + 1], dspec);
+  }
+  const double ascalar_seconds = t_ascalar.seconds();
+  simd::SimdBatchSolver align_solver(isa);
+  align_solver.alignBatch(genasm::Anchor::StartOnly, dwin.data(), dwin.size(),
+                          a_batched.data());
+  align_solver.resetStats();
+  util::Timer t_abatch;
+  align_solver.alignBatch(genasm::Anchor::StartOnly, dwin.data(), dwin.size(),
+                          a_batched.data());
+  const double abatch_seconds = t_abatch.seconds();
+  const simd::BatchStats a_stats = align_solver.stats();
+  for (std::size_t i = 0; i < dwin.size(); ++i) {
+    if (a_scalar[i].ok != a_batched[i].ok ||
+        a_scalar[i].distance != a_batched[i].distance ||
+        !(a_scalar[i].cigar == a_batched[i].cigar)) {
+      std::fprintf(stderr, "batched align kernel diverged from scalar\n");
+      return 1;
+    }
+  }
+  // Padding the shape sort saves: one pass with sorting off gives the
+  // pre-sort packed-word volume on the identical batch.
+  simd::SimdBatchSolver align_unsorted(isa);
+  align_unsorted.setShapeSort(false);
+  align_unsorted.alignBatch(genasm::Anchor::StartOnly, dwin.data(),
+                            dwin.size(), a_batched.data());
+  const simd::BatchStats u_stats = align_unsorted.stats();
+  const double ascalar_wps =
+      ascalar_seconds > 0 ? static_cast<double>(dwin.size()) / ascalar_seconds
+                          : 0;
+  const double abatch_wps =
+      abatch_seconds > 0 ? static_cast<double>(dwin.size()) / abatch_seconds
+                         : 0;
+  const double aspeedup = ascalar_wps > 0 ? abatch_wps / ascalar_wps : 0;
+  const double occupancy =
+      a_stats.lane_slots > 0 ? static_cast<double>(a_stats.lanes_filled) /
+                                   static_cast<double>(a_stats.lane_slots)
+                             : 0;
+  const double pack_sorted =
+      a_stats.packed_words > 0 ? static_cast<double>(a_stats.useful_words) /
+                                     static_cast<double>(a_stats.packed_words)
+                               : 0;
+  const double pack_unsorted =
+      u_stats.packed_words > 0 ? static_cast<double>(u_stats.useful_words) /
+                                     static_cast<double>(u_stats.packed_words)
+                               : 0;
+  std::printf("align kernel (W=64, %zu windows, isa=%s, %d lanes): "
+              "scalar %.0f windows/s, batched %.0f windows/s (%.2fx)\n",
+              dwin.size(), std::string(simd::isaName(isa)).c_str(),
+              align_solver.lanes(), ascalar_wps, abatch_wps, aspeedup);
+  std::printf("  lane occupancy %.4f (%llu/%llu), packing efficiency "
+              "%.4f sorted vs %.4f unsorted\n",
+              occupancy,
+              static_cast<unsigned long long>(a_stats.lanes_filled),
+              static_cast<unsigned long long>(a_stats.lane_slots),
+              pack_sorted, pack_unsorted);
+
+  // --- batched windowed march: steady-state allocation check over the
+  // workload's full pairs (the path pipeline phase 2 runs). Once the
+  // lane arenas and march scratch are warm, re-running the identical
+  // request set must grow nothing — the batched twin of the scalar
+  // steady_scratch_allocs figure above.
+  std::vector<core::BatchedAlignRequest> march_reqs;
+  march_reqs.reserve(w.pairs.size());
+  for (const auto& p : w.pairs) march_reqs.push_back({p.target, p.query});
+  std::vector<common::AlignmentResult> march_res(march_reqs.size());
+  core::WindowedBatchScratch march_scratch;
+  core::alignWindowedBatch(align_solver, wcfg, march_reqs.data(),
+                           march_reqs.size(), march_res.data(),
+                           march_scratch);
+  const std::uint64_t march_solver_warm = align_solver.scratchAllocs();
+  const std::uint64_t march_scratch_warm = march_scratch.allocs();
+  core::alignWindowedBatch(align_solver, wcfg, march_reqs.data(),
+                           march_reqs.size(), march_res.data(),
+                           march_scratch);
+  const std::uint64_t march_steady_allocs =
+      (align_solver.scratchAllocs() - march_solver_warm) +
+      (march_scratch.allocs() - march_scratch_warm);
+  std::printf("  batched march steady-state scratch allocations: %llu "
+              "(per window: %.4f — must be 0)\n",
+              static_cast<unsigned long long>(march_steady_allocs),
+              windows > 0
+                  ? static_cast<double>(march_steady_allocs) / windows
+                  : 0);
+
   // --- index build: serial vs per-contig-parallel over a contig table
   // (the tracked genome sliced into 8 contigs, the multi-contig shape
   // real references have).
@@ -360,6 +457,26 @@ int runTracked(bench::WorkloadConfig cfg) {
         .num("distance_scalar_windows_per_sec", dscalar_wps)
         .num("distance_batched_windows_per_sec", dbatch_wps)
         .num("speedup_batched_vs_scalar", dspeedup);
+    bench::JsonObject align_kernel;
+    align_kernel.num("windows", static_cast<std::uint64_t>(dwin.size()))
+        .num("window_bp", 64)
+        .str("isa", std::string(simd::isaName(isa)))
+        .num("lanes", align_solver.lanes())
+        .num("scalar_seconds", ascalar_seconds)
+        .num("batched_seconds", abatch_seconds)
+        .num("align_scalar_windows_per_sec", ascalar_wps)
+        .num("align_batched_windows_per_sec", abatch_wps)
+        .num("speedup_batched_vs_scalar", aspeedup)
+        .num("lanes_total", a_stats.lane_slots)
+        .num("lanes_filled", a_stats.lanes_filled)
+        .num("lane_occupancy", occupancy)
+        .num("packing_efficiency_sorted", pack_sorted)
+        .num("packing_efficiency_unsorted", pack_unsorted)
+        .num("march_steady_scratch_allocs", march_steady_allocs)
+        .num("march_steady_scratch_allocs_per_window",
+             windows > 0
+                 ? static_cast<double>(march_steady_allocs) / windows
+                 : 0.0);
     bench::JsonObject stage_breakdown;
     stage_breakdown.num("index_build_seconds", two.stages.index_build_s)
         .num("seed_chain_seconds", two.stages.seed_chain_s)
@@ -375,6 +492,7 @@ int runTracked(bench::WorkloadConfig cfg) {
         .obj("workload", workload)
         .obj("aligner", aligner)
         .obj("distance_kernel", distance_kernel)
+        .obj("align_kernel", align_kernel)
         .obj("index_build", index_build)
         .obj("index_build_single_contig", index_build_single_contig)
         .obj("pipeline_full", flow(full))

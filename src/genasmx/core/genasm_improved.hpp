@@ -234,97 +234,59 @@ class ImprovedWindowSolver {
         .bit(bitidx);
   }
 
+  /// Probes for the shared genasm::walkTraceback. Compressed mode
+  /// (improvement 1) recomputes the four transition bits on demand from
+  /// stored R entries — note the match probe short-circuits on the
+  /// character comparison, so a mismatching column costs no load; the
+  /// uncompressed ablation loads the four stored edge vectors at once.
   template <class Counter>
   bool traceback(std::string_view text_rev, std::string_view pattern_rev,
                  const WindowSpec& spec, int n, int m, int dmin,
                  WindowResult& out, Counter& counter) {
-    int i = n;
-    int pl = m;
-    int d = dmin;
-    const std::uint64_t limit =
-        spec.tb_op_limit < 0 ? ~0ULL
-                             : static_cast<std::uint64_t>(spec.tb_op_limit);
-    std::uint64_t ops = 0;
-    const bool both = spec.anchor == Anchor::BothEnds;
-    const bool compressed = opts_.compress_entries;
-
-    while (pl > 0 || (both && i > 0)) {
-      if (ops >= limit) return true;  // truncated
-      if (pl == 0) {
-        const std::uint64_t take =
-            std::min<std::uint64_t>(static_cast<std::uint64_t>(i), limit - ops);
-        out.cigar.push(common::EditOp::Deletion,
-                       static_cast<std::uint32_t>(take));
-        ops += take;
-        i -= static_cast<int>(take);
-        d -= static_cast<int>(take);
-        continue;
-      }
-      if (i == 0) {
-        if (d >= 1 && pl <= d) {
-          out.cigar.push(common::EditOp::Insertion);
-          --pl;
-          --d;
-          ++ops;
-          continue;
-        }
-        return false;
-      }
-      bool match_ok, sub_ok, del_ok, ins_ok;
-      if (compressed) {
-        // Improvement 1: recompute the four transition bits from stored
-        // entries instead of loading stored edge vectors.
-        match_ok =
-            common::baseCode(pattern_rev[pl - 1]) ==
-                common::baseCode(text_rev[i - 1]) &&
-            !rBitIsOne(spec.anchor, i - 1, d, pl - 2, counter);
-        sub_ok = d >= 1 &&
-                 !rBitIsOne(spec.anchor, i - 1, d - 1, pl - 2, counter);
-        del_ok = d >= 1 &&
-                 !rBitIsOne(spec.anchor, i - 1, d - 1, pl - 1, counter);
-        ins_ok =
-            d >= 1 && !rBitIsOne(spec.anchor, i, d - 1, pl - 2, counter);
-      } else {
-        const Vec* e =
-            edge_rows_.data() +
-            (static_cast<std::size_t>(d) * edge_cols_ +
-             static_cast<std::size_t>(i - col_lo_ - 1)) *
-                4;
-        counter.load(4 * NW);
-        match_ok = !e[0].bit(pl - 1);
-        sub_ok = d >= 1 && !e[1].bit(pl - 1);
-        del_ok = d >= 1 && !e[2].bit(pl - 1);
-        ins_ok = d >= 1 && !e[3].bit(pl - 1);
-      }
-      // Priority match > del > ins > sub — identical to the baseline
-      // traceback; see the note there on why indels commit eagerly.
-      // Mirrored by simd::SimdBatchSolver's tracebackLane: changes here
-      // must be reflected there (the batched flows' bit-identity
-      // depends on it; test_simd pins the parity).
-      if (match_ok) {
-        out.cigar.push(common::EditOp::Match);
-        --i;
-        --pl;
-      } else if (del_ok) {
-        out.cigar.push(common::EditOp::Deletion);
-        --i;
-        --d;
-      } else if (ins_ok) {
-        out.cigar.push(common::EditOp::Insertion);
-        --pl;
-        --d;
-      } else if (sub_ok) {
-        out.cigar.push(common::EditOp::Mismatch);
-        --i;
-        --pl;
-        --d;
-      } else {
-        return false;  // inconsistent table (must not happen)
-      }
-      ++ops;
+    const auto emit = [&](common::EditOp op, std::uint32_t count) {
+      out.cigar.push(op, count);
+    };
+    const std::uint64_t budget = genasm::tbOpBudget(spec.tb_op_limit);
+    genasm::TbStatus status;
+    if (opts_.compress_entries) {
+      status = genasm::walkTraceback(
+          spec.anchor, n, m, dmin, budget,
+          [&](int i, int pl, int d) {
+            genasm::TbFlags f;
+            f.match =
+                common::baseCode(pattern_rev[pl - 1]) ==
+                    common::baseCode(text_rev[i - 1]) &&
+                !rBitIsOne(spec.anchor, i - 1, d, pl - 2, counter);
+            f.sub = d >= 1 &&
+                    !rBitIsOne(spec.anchor, i - 1, d - 1, pl - 2, counter);
+            f.del = d >= 1 &&
+                    !rBitIsOne(spec.anchor, i - 1, d - 1, pl - 1, counter);
+            f.ins =
+                d >= 1 && !rBitIsOne(spec.anchor, i, d - 1, pl - 2, counter);
+            return f;
+          },
+          emit);
+    } else {
+      status = genasm::walkTraceback(
+          spec.anchor, n, m, dmin, budget,
+          [&](int i, int pl, int d) {
+            const Vec* e =
+                edge_rows_.data() +
+                (static_cast<std::size_t>(d) * edge_cols_ +
+                 static_cast<std::size_t>(i - col_lo_ - 1)) *
+                    4;
+            counter.load(4 * NW);
+            genasm::TbFlags f;
+            f.match = !e[0].bit(pl - 1);
+            f.sub = d >= 1 && !e[1].bit(pl - 1);
+            f.del = d >= 1 && !e[2].bit(pl - 1);
+            f.ins = d >= 1 && !e[3].bit(pl - 1);
+            return f;
+          },
+          emit);
     }
-    out.traceback_complete = true;
-    return true;
+    out.traceback_complete = status == genasm::TbStatus::Complete;
+    return status != genasm::TbStatus::Bad;
   }
 
   ImprovedOptions opts_;

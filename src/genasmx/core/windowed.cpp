@@ -96,27 +96,63 @@ int distanceWindowedBaseline(std::string_view target, std::string_view query,
   return run(util::NullMemCounter{});
 }
 
+namespace {
+
+/// Build the current window problem for one live request — the shared
+/// cursor-to-window mapping of distanceWindowed()/alignWindowed().
+/// Pre: rem_t > 0 && rem_q > 0.
+simd::WindowProblem currentWindow(const WindowConfig& cfg,
+                                  std::string_view target,
+                                  std::string_view query,
+                                  WindowedBatchScratch::March& m) {
+  const std::size_t W = static_cast<std::size_t>(cfg.window);
+  const std::size_t rem_t = target.size() - m.ti;
+  const std::size_t rem_q = query.size() - m.qi;
+  simd::WindowProblem p;
+  p.max_edits = cfg.max_edits;
+  if (rem_q <= W) {
+    m.is_final = true;
+    const std::size_t final_slack =
+        static_cast<std::size_t>(cfg.textWindow() - cfg.window);
+    const std::size_t tw_len = std::min(rem_t, rem_q + final_slack);
+    p.text = target.substr(m.ti, tw_len);
+    p.pattern = query.substr(m.qi, rem_q);
+    p.tb_op_limit = -1;
+  } else {
+    m.is_final = false;
+    const std::size_t tw_len =
+        std::min(rem_t, static_cast<std::size_t>(cfg.textWindow()));
+    p.text = target.substr(m.ti, tw_len);
+    p.pattern = query.substr(m.qi, W);
+    p.tb_op_limit = cfg.window - cfg.overlap;
+  }
+  return p;
+}
+
+}  // namespace
+
 void distanceWindowedBatch(simd::SimdBatchSolver& solver,
                            const WindowConfig& cfg,
                            const BatchedDistanceRequest* requests,
-                           std::size_t count, int* results) {
+                           std::size_t count, int* results,
+                           WindowedBatchScratch& scratch) {
   cfg.validate();
-  const std::size_t W = static_cast<std::size_t>(cfg.window);
-  const std::size_t final_slack =
-      static_cast<std::size_t>(cfg.textWindow() - cfg.window);
 
   // Per-request march state — distanceWindowed()'s locals, one per lane.
-  struct March {
-    std::size_t ti = 0;
-    std::size_t qi = 0;
-    std::uint64_t acc = 0;
-    std::uint64_t budget = ~0ULL;
-    bool done = false;
-    bool is_final = false;  ///< current window is the final window
-  };
-  std::vector<March> st(count);
+  // Arena capacities (including the per-sweep probs/lane_req push_backs,
+  // bounded by count) are sized up front so steady-state marches grow
+  // nothing.
+  scratch.ensure(scratch.st, count);
+  scratch.ensure(scratch.probs, count);
+  scratch.ensure(scratch.lane_req, count);
+  auto& st = scratch.st;
+  auto& probs = scratch.probs;
+  auto& outs = scratch.outs;
+  auto& lane_req = scratch.lane_req;
+
   std::size_t live = count;
   for (std::size_t r = 0; r < count; ++r) {
+    st[r] = WindowedBatchScratch::March{};
     st[r].budget = requests[r].cap < 0
                        ? ~0ULL
                        : static_cast<std::uint64_t>(requests[r].cap);
@@ -126,10 +162,6 @@ void distanceWindowedBatch(simd::SimdBatchSolver& solver,
     results[r] = value;
     --live;
   };
-
-  std::vector<simd::WindowProblem> probs;
-  std::vector<simd::WindowOutcome> outs;
-  std::vector<std::size_t> lane_req;
 
   // Each sweep advances every live request by exactly one window: the
   // current windows of all live requests are packed into lanes and
@@ -155,33 +187,17 @@ void distanceWindowedBatch(simd::SimdBatchSolver& solver,
                                            : static_cast<int>(st[r].acc));
         continue;
       }
-      simd::WindowProblem p;
-      p.max_edits = cfg.max_edits;
-      if (rem_q <= W) {
-        st[r].is_final = true;
-        const std::size_t tw_len = std::min(rem_t, rem_q + final_slack);
-        p.text = target.substr(st[r].ti, tw_len);
-        p.pattern = query.substr(st[r].qi, rem_q);
-        p.tb_op_limit = -1;
-      } else {
-        st[r].is_final = false;
-        const std::size_t tw_len =
-            std::min(rem_t, static_cast<std::size_t>(cfg.textWindow()));
-        p.text = target.substr(st[r].ti, tw_len);
-        p.pattern = query.substr(st[r].qi, W);
-        p.tb_op_limit = cfg.window - cfg.overlap;
-      }
-      probs.push_back(p);
+      probs.push_back(currentWindow(cfg, target, query, st[r]));
       lane_req.push_back(r);
     }
     if (probs.empty()) break;
-    outs.resize(probs.size());
+    scratch.ensure(outs, probs.size());
     solver.solveWindowBatch(genasm::Anchor::StartOnly, probs.data(),
                             probs.size(), outs.data());
     for (std::size_t j = 0; j < lane_req.size(); ++j) {
       const std::size_t r = lane_req[j];
       const simd::WindowOutcome& out = outs[j];
-      March& m = st[r];
+      WindowedBatchScratch::March& m = st[r];
       if (!out.ok) {
         finish(r, -1);
         continue;
@@ -206,6 +222,125 @@ void distanceWindowedBatch(simd::SimdBatchSolver& solver,
       m.qi += out.pattern_consumed;
     }
   }
+}
+
+void distanceWindowedBatch(simd::SimdBatchSolver& solver,
+                           const WindowConfig& cfg,
+                           const BatchedDistanceRequest* requests,
+                           std::size_t count, int* results) {
+  WindowedBatchScratch scratch;
+  distanceWindowedBatch(solver, cfg, requests, count, results, scratch);
+}
+
+void alignWindowedBatch(simd::SimdBatchSolver& solver, const WindowConfig& cfg,
+                        const BatchedAlignRequest* requests, std::size_t count,
+                        common::AlignmentResult* results,
+                        WindowedBatchScratch& scratch) {
+  cfg.validate();
+
+  scratch.ensure(scratch.st, count);
+  scratch.ensure(scratch.probs, count);
+  scratch.ensure(scratch.lane_req, count);
+  auto& st = scratch.st;
+  auto& probs = scratch.probs;
+  auto& wrs = scratch.wrs;
+  auto& lane_req = scratch.lane_req;
+
+  std::size_t live = count;
+  for (std::size_t r = 0; r < count; ++r) {
+    st[r] = WindowedBatchScratch::March{};
+    // In-place reset, preserving cigar capacity, exactly as
+    // alignWindowed()'s fresh AlignmentResult starts out.
+    common::AlignmentResult& out = results[r];
+    out.ok = false;
+    out.edit_distance = -1;
+    out.score = 0;
+    out.cigar.clear();
+  }
+  const auto finishFail = [&](std::size_t r) {
+    st[r].done = true;
+    --live;  // results[r].ok stays false; the partial cigar stands
+  };
+  const auto finishOk = [&](std::size_t r) {
+    st[r].done = true;
+    --live;
+    common::AlignmentResult& out = results[r];
+    out.ok = true;
+    out.edit_distance = static_cast<int>(out.cigar.editDistance());
+    out.score = -out.edit_distance;
+  };
+
+  // Lock-step march, one window per live request per sweep — the same
+  // sweep structure as distanceWindowedBatch, with alignWindowed()'s
+  // commit logic applied per lane.
+  while (live > 0) {
+    probs.clear();
+    lane_req.clear();
+    for (std::size_t r = 0; r < count; ++r) {
+      if (st[r].done) continue;
+      const std::string_view target = requests[r].target;
+      const std::string_view query = requests[r].query;
+      const std::size_t rem_t = target.size() - st[r].ti;
+      const std::size_t rem_q = query.size() - st[r].qi;
+      if (rem_q == 0) {
+        if (rem_t > 0) {
+          results[r].cigar.push(common::EditOp::Deletion,
+                                static_cast<std::uint32_t>(rem_t));
+        }
+        finishOk(r);
+        continue;
+      }
+      if (rem_t == 0) {
+        results[r].cigar.push(common::EditOp::Insertion,
+                              static_cast<std::uint32_t>(rem_q));
+        finishOk(r);
+        continue;
+      }
+      probs.push_back(currentWindow(cfg, target, query, st[r]));
+      lane_req.push_back(r);
+    }
+    if (probs.empty()) break;
+    scratch.ensure(wrs, probs.size());
+    solver.alignBatch(genasm::Anchor::StartOnly, probs.data(), probs.size(),
+                      wrs.data());
+    for (std::size_t j = 0; j < lane_req.size(); ++j) {
+      const std::size_t r = lane_req[j];
+      const genasm::WindowResult& wr = wrs[j];
+      WindowedBatchScratch::March& m = st[r];
+      common::AlignmentResult& out = results[r];
+      if (!wr.ok) {
+        finishFail(r);
+        continue;
+      }
+      if (m.is_final) {
+        out.cigar.append(wr.cigar);
+        const std::size_t rem_t = requests[r].target.size() - m.ti;
+        const std::uint64_t consumed = wr.cigar.targetLength();
+        if (consumed < rem_t) {
+          out.cigar.push(common::EditOp::Deletion,
+                         static_cast<std::uint32_t>(rem_t - consumed));
+        }
+        finishOk(r);
+        continue;
+      }
+      const std::uint64_t tc = wr.cigar.targetLength();
+      const std::uint64_t qc = wr.cigar.queryLength();
+      if (tc == 0 && qc == 0) {
+        finishFail(r);  // defensive: no progress
+        continue;
+      }
+      out.cigar.append(wr.cigar);
+      m.ti += tc;
+      m.qi += qc;
+    }
+  }
+}
+
+void alignWindowedBatch(simd::SimdBatchSolver& solver, const WindowConfig& cfg,
+                        const BatchedAlignRequest* requests, std::size_t count,
+                        common::AlignmentResult* results) {
+  WindowedBatchScratch scratch;
+  alignWindowedBatch(solver, cfg, requests, count, results, scratch);
 }
 
 int distanceWindowedImproved(std::string_view target, std::string_view query,

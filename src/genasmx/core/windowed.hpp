@@ -14,9 +14,11 @@
 // the measured differences (E1-E5) come from the solvers alone.
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "genasmx/common/cigar.hpp"
 #include "genasmx/common/sequence.hpp"
@@ -253,6 +255,51 @@ struct BatchedDistanceRequest {
   int cap = -1;  ///< exact result cap; -1 = uncapped
 };
 
+/// One windowed-alignment problem for the batched march (original
+/// orientation, same semantics as alignWindowed's arguments).
+struct BatchedAlignRequest {
+  std::string_view target;
+  std::string_view query;
+};
+
+/// Reusable arenas for the batched window marches. Owned by the caller
+/// (the engine's aligners keep one per worker); a steady-state march
+/// over stable batch sizes grows nothing — allocs() counts growth
+/// events, mirroring SimdBatchSolver::scratchAllocs(), and the bench
+/// asserts both stay flat at steady state.
+struct WindowedBatchScratch {
+  /// distanceWindowed()/alignWindowed()'s loop locals, one per request.
+  struct March {
+    std::size_t ti = 0;
+    std::size_t qi = 0;
+    std::uint64_t acc = 0;
+    std::uint64_t budget = ~0ULL;
+    bool done = false;
+    bool is_final = false;  ///< current window is the final window
+  };
+
+  std::vector<March> st;
+  std::vector<simd::WindowProblem> probs;
+  std::vector<simd::WindowOutcome> outs;
+  std::vector<genasm::WindowResult> wrs;  ///< cigar capacity persists
+  std::vector<std::size_t> lane_req;
+
+  /// Arena growth events since construction.
+  [[nodiscard]] std::uint64_t allocs() const noexcept { return grow_events_; }
+
+  /// Grow-only resize with alloc-event accounting (elements beyond a
+  /// smaller later batch keep stale state; the marches reset what they
+  /// index).
+  template <class T>
+  void ensure(std::vector<T>& buf, std::size_t n) {
+    if (buf.capacity() < n) ++grow_events_;
+    if (buf.size() < n) buf.resize(n);
+  }
+
+ private:
+  std::uint64_t grow_events_ = 0;
+};
+
 /// Batched counterpart of distanceWindowed(): marches every request's
 /// window chain concurrently, packing the current windows of all live
 /// requests into SIMD lanes (the paper's inter-window parallelism —
@@ -265,7 +312,33 @@ struct BatchedDistanceRequest {
 void distanceWindowedBatch(simd::SimdBatchSolver& solver,
                            const WindowConfig& cfg,
                            const BatchedDistanceRequest* requests,
+                           std::size_t count, int* results,
+                           WindowedBatchScratch& scratch);
+
+/// Convenience overload with march-local scratch (tests, one-shot use).
+void distanceWindowedBatch(simd::SimdBatchSolver& solver,
+                           const WindowConfig& cfg,
+                           const BatchedDistanceRequest* requests,
                            std::size_t count, int* results);
+
+/// Batched counterpart of alignWindowed(): the same lock-step march as
+/// distanceWindowedBatch, but each lane's committed window cigars are
+/// accumulated, so results[i] — ok, cigar, edit_distance, score — is
+/// bit-identical to alignWindowed(solver, target, query, cfg) with the
+/// matching scalar solver. Results are reset in place (cigar capacity
+/// preserved), so reusing a results arena allocates nothing at steady
+/// state.
+void alignWindowedBatch(simd::SimdBatchSolver& solver,
+                        const WindowConfig& cfg,
+                        const BatchedAlignRequest* requests,
+                        std::size_t count, common::AlignmentResult* results,
+                        WindowedBatchScratch& scratch);
+
+/// Convenience overload with march-local scratch (tests, one-shot use).
+void alignWindowedBatch(simd::SimdBatchSolver& solver,
+                        const WindowConfig& cfg,
+                        const BatchedAlignRequest* requests,
+                        std::size_t count, common::AlignmentResult* results);
 
 /// Windowed alignment with the unimproved baseline solver.
 [[nodiscard]] common::AlignmentResult alignWindowedBaseline(

@@ -31,6 +31,15 @@ struct DistanceTask {
   int cap = -1;
 };
 
+/// A non-owning full-alignment problem: views into storage the caller
+/// keeps alive for the duration of the batch (see Aligner::alignBatch).
+/// The mapping pipeline aligns candidate windows as views into the
+/// reference genome, so a batch never copies reference text.
+struct AlignmentTask {
+  std::string_view target;  ///< reference window
+  std::string_view query;   ///< read, oriented to the mapping strand
+};
+
 /// Union of the knobs the registered backends understand. Each backend
 /// reads only its slice; defaults reproduce the paper's configuration.
 struct AlignerConfig {
@@ -83,6 +92,22 @@ class Aligner {
                              int* results) {
     for (std::size_t i = 0; i < count; ++i) {
       results[i] = distance(tasks[i].target, tasks[i].query, tasks[i].cap);
+    }
+  }
+
+  /// Align `count` tasks; results[i] is bit-identical to
+  /// align(tasks[i].target, tasks[i].query) — cigar included — so
+  /// callers may batch freely without affecting output (the default is
+  /// that loop). Backends with a lane-parallel batched kernel (the
+  /// GenASM family) override this and run same-shaped problems in SIMD
+  /// lanes: single-window problems lane-parallel, longer ones as a
+  /// lock-step windowed march. Each result is reset in place, cigar
+  /// capacity preserved, so a reused results arena allocates nothing at
+  /// steady state. The viewed storage must outlive the call.
+  virtual void alignBatch(const AlignmentTask* tasks, std::size_t count,
+                          common::AlignmentResult* results) {
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = align(tasks[i].target, tasks[i].query);
     }
   }
 

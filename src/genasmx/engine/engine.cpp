@@ -50,11 +50,10 @@ std::vector<common::AlignmentResult> AlignmentEngine::alignBatch(
     // One checked-out aligner per chunk: solver scratch amortizes across
     // the chunk's share and, via the spare pool, across batches — the
     // pool never holds more aligners than the peak chunk concurrency.
-    AlignerPtr aligner = acquireAligner();
-    for (std::size_t i = begin; i < end; ++i) {
-      results[i] = aligner->align(tasks[i].target, tasks[i].query);
-    }
-    releaseAligner(std::move(aligner));
+    // The whole chunk goes through the backend's batched entry point.
+    AlignerLease aligner(*this);
+    aligner->alignBatch(tasks.data() + begin, end - begin,
+                        results.data() + begin);
   });
   return results;
 }

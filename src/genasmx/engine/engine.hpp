@@ -21,14 +21,8 @@
 
 namespace gx::engine {
 
-/// A non-owning alignment problem: views into storage the caller keeps
-/// alive for the duration of the batch. The mapping pipeline aligns
-/// candidate windows as views into the reference genome, so a batch
-/// never copies reference text.
-struct AlignmentTask {
-  std::string_view target;  ///< reference window
-  std::string_view query;   ///< read, oriented to the mapping strand
-};
+// AlignmentTask/DistanceTask live in aligner.hpp (via registry.hpp),
+// next to the Aligner batch entry points that consume them.
 
 struct EngineConfig {
   /// Registry name of the backend to run (see registry.hpp).
@@ -60,8 +54,12 @@ class AlignmentEngine {
                              int cap = -1);
 
   /// Align every task; results[i] corresponds to tasks[i]. Deterministic:
-  /// identical to the sequential loop regardless of thread count. The
-  /// viewed storage must outlive the call.
+  /// identical to the sequential loop regardless of thread count. Each
+  /// worker hands its whole contiguous chunk to Aligner::alignBatch, so
+  /// backends with a lane-parallel kernel (the GenASM family) pack the
+  /// chunk's tasks into SIMD lane batches — results stay bit-identical
+  /// to the per-task scalar loop by contract. The viewed storage must
+  /// outlive the call.
   [[nodiscard]] std::vector<common::AlignmentResult> alignBatch(
       const std::vector<AlignmentTask>& tasks);
 

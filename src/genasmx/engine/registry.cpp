@@ -57,6 +57,36 @@ struct PerWidthSolvers {
   }
 };
 
+/// Per-aligner arenas for the batched GenASM routing: the global-vs-
+/// march task split, result staging, and the march's own scratch. Owned
+/// by each GenASM aligner instance, so steady-state batches through the
+/// engine's spare-pooled workers grow nothing (allocs() counts growth
+/// events; the bench asserts it stays flat).
+struct GenasmBatchScratch {
+  std::vector<simd::WindowProblem> globals;
+  std::vector<std::size_t> global_idx;
+  std::vector<core::BatchedDistanceRequest> d_marches;
+  std::vector<core::BatchedAlignRequest> a_marches;
+  std::vector<std::size_t> march_idx;
+  std::vector<int> ints;                        ///< distance staging
+  std::vector<genasm::WindowResult> wrs;        ///< global align staging
+  std::vector<common::AlignmentResult> aligns;  ///< march align staging
+  core::WindowedBatchScratch march;
+
+  [[nodiscard]] std::uint64_t allocs() const noexcept {
+    return grow_events_ + march.allocs();
+  }
+
+  template <class T>
+  void ensure(std::vector<T>& buf, std::size_t n) {
+    if (buf.capacity() < n) ++grow_events_;
+    if (buf.size() < n) buf.resize(n);
+  }
+
+ private:
+  std::uint64_t grow_events_ = 0;
+};
+
 /// Shared batched-distance routing for the GenASM backends. Tasks whose
 /// query fits a single global window go through the lane-parallel
 /// distance kernel (solveDistanceBatch == scalar solveDistance per
@@ -67,18 +97,23 @@ struct PerWidthSolvers {
 void genasmDistanceBatch(simd::SimdBatchSolver& solver,
                          const core::WindowConfig& wcfg, int max_edits,
                          bool windowed_only, const DistanceTask* tasks,
-                         std::size_t count, int* results) {
-  std::vector<simd::WindowProblem> globals;
-  std::vector<std::size_t> global_idx;
-  std::vector<core::BatchedDistanceRequest> marches;
-  std::vector<std::size_t> march_idx;
-  globals.reserve(count);
-  global_idx.reserve(count);
+                         std::size_t count, int* results,
+                         GenasmBatchScratch& sc) {
+  // Capacity for the split is bounded by count; clear() preserves it, so
+  // the push_backs below never reallocate once the arena is warm.
+  sc.ensure(sc.globals, count);
+  sc.ensure(sc.global_idx, count);
+  sc.ensure(sc.d_marches, count);
+  sc.ensure(sc.march_idx, count);
+  sc.globals.clear();
+  sc.global_idx.clear();
+  sc.d_marches.clear();
+  sc.march_idx.clear();
   for (std::size_t i = 0; i < count; ++i) {
     const DistanceTask& t = tasks[i];
     if (windowed_only || t.query.size() > kGlobalGenasmMax) {
-      marches.push_back({t.target, t.query, t.cap});
-      march_idx.push_back(i);
+      sc.d_marches.push_back({t.target, t.query, t.cap});
+      sc.march_idx.push_back(i);
       continue;
     }
     if (t.query.empty()) {
@@ -95,23 +130,95 @@ void genasmDistanceBatch(simd::SimdBatchSolver& solver,
                                       static_cast<int>(t.query.size()),
                                       genasm::Anchor::BothEnds);
     if (t.cap >= 0 && t.cap < k) k = t.cap;
-    globals.push_back({t.target, t.query, k, -1});
-    global_idx.push_back(i);
+    sc.globals.push_back({t.target, t.query, k, -1});
+    sc.global_idx.push_back(i);
   }
-  if (!globals.empty()) {
-    std::vector<int> r(globals.size());
-    solver.solveDistanceBatch(genasm::Anchor::BothEnds, globals.data(),
-                              globals.size(), r.data());
-    for (std::size_t j = 0; j < global_idx.size(); ++j) {
-      results[global_idx[j]] = r[j];
+  if (!sc.globals.empty()) {
+    sc.ensure(sc.ints, sc.globals.size());
+    solver.solveDistanceBatch(genasm::Anchor::BothEnds, sc.globals.data(),
+                              sc.globals.size(), sc.ints.data());
+    for (std::size_t j = 0; j < sc.global_idx.size(); ++j) {
+      results[sc.global_idx[j]] = sc.ints[j];
     }
   }
-  if (!marches.empty()) {
-    std::vector<int> r(marches.size());
-    core::distanceWindowedBatch(solver, wcfg, marches.data(), marches.size(),
-                                r.data());
-    for (std::size_t j = 0; j < march_idx.size(); ++j) {
-      results[march_idx[j]] = r[j];
+  if (!sc.d_marches.empty()) {
+    sc.ensure(sc.ints, sc.d_marches.size());
+    core::distanceWindowedBatch(solver, wcfg, sc.d_marches.data(),
+                                sc.d_marches.size(), sc.ints.data(), sc.march);
+    for (std::size_t j = 0; j < sc.march_idx.size(); ++j) {
+      results[sc.march_idx[j]] = sc.ints[j];
+    }
+  }
+}
+
+/// Batched-alignment routing, mirroring genasmDistanceBatch: global
+/// problems run on the lane solver's alignBatch (== alignGlobalWith per
+/// lane, cigar included), the rest — everything, for the windowed-*
+/// backends — march through core::alignWindowedBatch. results[i] is
+/// bit-identical to the backend's scalar align(tasks[i]) in every case.
+void genasmAlignBatch(simd::SimdBatchSolver& solver,
+                      const core::WindowConfig& wcfg, int max_edits,
+                      bool windowed_only, const AlignmentTask* tasks,
+                      std::size_t count, AlignmentResult* results,
+                      GenasmBatchScratch& sc) {
+  sc.ensure(sc.globals, count);
+  sc.ensure(sc.global_idx, count);
+  sc.ensure(sc.a_marches, count);
+  sc.ensure(sc.march_idx, count);
+  sc.globals.clear();
+  sc.global_idx.clear();
+  sc.a_marches.clear();
+  sc.march_idx.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const AlignmentTask& t = tasks[i];
+    if (windowed_only || t.query.size() > kGlobalGenasmMax) {
+      sc.a_marches.push_back({t.target, t.query});
+      sc.march_idx.push_back(i);
+      continue;
+    }
+    AlignmentResult& out = results[i];
+    out.ok = false;
+    out.edit_distance = -1;
+    out.score = 0;
+    out.cigar.clear();
+    if (t.query.empty()) {
+      // alignGlobalWith's degenerate case: delete the whole target.
+      out.ok = true;
+      out.edit_distance = static_cast<int>(t.target.size());
+      out.score = -out.edit_distance;
+      if (!t.target.empty()) {
+        out.cigar.push(common::EditOp::Deletion,
+                       static_cast<std::uint32_t>(t.target.size()));
+      }
+      continue;
+    }
+    sc.globals.push_back({t.target, t.query, max_edits, -1});
+    sc.global_idx.push_back(i);
+  }
+  if (!sc.globals.empty()) {
+    sc.ensure(sc.wrs, sc.globals.size());
+    solver.alignBatch(genasm::Anchor::BothEnds, sc.globals.data(),
+                      sc.globals.size(), sc.wrs.data());
+    for (std::size_t j = 0; j < sc.global_idx.size(); ++j) {
+      const genasm::WindowResult& wr = sc.wrs[j];
+      AlignmentResult& out = results[sc.global_idx[j]];
+      out.ok = false;
+      out.edit_distance = -1;
+      out.score = 0;
+      out.cigar.clear();
+      if (!wr.ok) continue;
+      out.ok = true;
+      out.edit_distance = wr.distance;
+      out.score = -wr.distance;
+      out.cigar = wr.cigar;
+    }
+  }
+  if (!sc.a_marches.empty()) {
+    sc.ensure(sc.aligns, sc.a_marches.size());
+    core::alignWindowedBatch(solver, wcfg, sc.a_marches.data(),
+                             sc.a_marches.size(), sc.aligns.data(), sc.march);
+    for (std::size_t j = 0; j < sc.march_idx.size(); ++j) {
+      results[sc.march_idx[j]] = sc.aligns[j];
     }
   }
 }
@@ -154,7 +261,13 @@ class GlobalBaselineAligner final : public Aligner {
   void distanceBatch(const DistanceTask* tasks, std::size_t count,
                      int* results) override {
     genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
-                        /*windowed_only=*/false, tasks, count, results);
+                        /*windowed_only=*/false, tasks, count, results,
+                        batch_);
+  }
+  void alignBatch(const AlignmentTask* tasks, std::size_t count,
+                  AlignmentResult* results) override {
+    genasmAlignBatch(simd_, cfg_.window, cfg_.max_edits,
+                     /*windowed_only=*/false, tasks, count, results, batch_);
   }
   std::string_view name() const noexcept override { return "baseline"; }
 
@@ -163,6 +276,7 @@ class GlobalBaselineAligner final : public Aligner {
   PerWidthSolvers<genasm::BaselineWindowSolver> solvers_;
   core::WindowBuffers bufs_;
   simd::SimdBatchSolver simd_;
+  GenasmBatchScratch batch_;
 };
 
 class GlobalImprovedAligner final : public Aligner {
@@ -201,7 +315,13 @@ class GlobalImprovedAligner final : public Aligner {
   void distanceBatch(const DistanceTask* tasks, std::size_t count,
                      int* results) override {
     genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
-                        /*windowed_only=*/false, tasks, count, results);
+                        /*windowed_only=*/false, tasks, count, results,
+                        batch_);
+  }
+  void alignBatch(const AlignmentTask* tasks, std::size_t count,
+                  AlignmentResult* results) override {
+    genasmAlignBatch(simd_, cfg_.window, cfg_.max_edits,
+                     /*windowed_only=*/false, tasks, count, results, batch_);
   }
   std::string_view name() const noexcept override { return "improved"; }
 
@@ -210,6 +330,7 @@ class GlobalImprovedAligner final : public Aligner {
   PerWidthSolvers<core::ImprovedWindowSolver> solvers_;
   core::WindowBuffers bufs_;
   simd::SimdBatchSolver simd_;
+  GenasmBatchScratch batch_;
 };
 
 class WindowedBaselineAligner final : public Aligner {
@@ -232,7 +353,12 @@ class WindowedBaselineAligner final : public Aligner {
   void distanceBatch(const DistanceTask* tasks, std::size_t count,
                      int* results) override {
     genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
-                        /*windowed_only=*/true, tasks, count, results);
+                        /*windowed_only=*/true, tasks, count, results, batch_);
+  }
+  void alignBatch(const AlignmentTask* tasks, std::size_t count,
+                  AlignmentResult* results) override {
+    genasmAlignBatch(simd_, cfg_.window, cfg_.max_edits,
+                     /*windowed_only=*/true, tasks, count, results, batch_);
   }
   std::string_view name() const noexcept override {
     return "windowed-baseline";
@@ -243,6 +369,7 @@ class WindowedBaselineAligner final : public Aligner {
   PerWidthSolvers<genasm::BaselineWindowSolver> solvers_;
   core::WindowBuffers bufs_;
   simd::SimdBatchSolver simd_;
+  GenasmBatchScratch batch_;
 };
 
 class WindowedImprovedAligner final : public Aligner {
@@ -265,7 +392,12 @@ class WindowedImprovedAligner final : public Aligner {
   void distanceBatch(const DistanceTask* tasks, std::size_t count,
                      int* results) override {
     genasmDistanceBatch(simd_, cfg_.window, cfg_.max_edits,
-                        /*windowed_only=*/true, tasks, count, results);
+                        /*windowed_only=*/true, tasks, count, results, batch_);
+  }
+  void alignBatch(const AlignmentTask* tasks, std::size_t count,
+                  AlignmentResult* results) override {
+    genasmAlignBatch(simd_, cfg_.window, cfg_.max_edits,
+                     /*windowed_only=*/true, tasks, count, results, batch_);
   }
   std::string_view name() const noexcept override {
     return "windowed-improved";
@@ -276,6 +408,7 @@ class WindowedImprovedAligner final : public Aligner {
   PerWidthSolvers<core::ImprovedWindowSolver> solvers_;
   core::WindowBuffers bufs_;
   simd::SimdBatchSolver simd_;
+  GenasmBatchScratch batch_;
 };
 
 class MyersBackend final : public Aligner {

@@ -140,89 +140,36 @@ class BaselineWindowSolver {
     Vec match, sub, del, ins;
   };
 
+  /// Probe for the shared genasm::walkTraceback: one stored-edge-vector
+  /// load resolves the match transition; only when the match fails (and
+  /// a lower level exists) are the other three edge vectors loaded —
+  /// the lazy accounting GenASM-TB's hardware walk pays.
   template <class Counter>
   bool traceback(std::string_view text_rev, const WindowSpec& spec, int n,
                  int m, int dmin, int levels, WindowResult& out,
                  Counter& counter) {
     (void)text_rev;
-    int i = n;
-    int pl = m;  // matched pattern prefix length
-    int d = dmin;
-    const std::uint64_t limit =
-        spec.tb_op_limit < 0 ? ~0ULL
-                             : static_cast<std::uint64_t>(spec.tb_op_limit);
-    std::uint64_t ops = 0;
-    const bool both = spec.anchor == Anchor::BothEnds;
-
-    while (pl > 0 || (both && i > 0)) {
-      if (ops >= limit) return true;  // truncated; traceback_complete stays false
-      if (pl == 0) {
-        // BothEnds tail: the unconsumed reversed-text prefix is the
-        // original window's trailing characters — emit deletions.
-        const std::uint64_t take =
-            std::min<std::uint64_t>(static_cast<std::uint64_t>(i), limit - ops);
-        out.cigar.push(common::EditOp::Deletion,
-                       static_cast<std::uint32_t>(take));
-        ops += take;
-        i -= static_cast<int>(take);
-        d -= static_cast<int>(take);
-        continue;
-      }
-      if (i == 0) {
-        // Only insertions can remain; affordable iff pl <= d.
-        if (d >= 1 && pl <= d) {
-          out.cigar.push(common::EditOp::Insertion);
-          --pl;
-          --d;
-          ++ops;
-          continue;
-        }
-        return false;  // inconsistent table (must not happen)
-      }
-      const Edges& e =
-          edges_[static_cast<std::size_t>(i - 1) * levels + d];
-      counter.load(NW);
-      if (!e.match.bit(pl - 1)) {
-        out.cigar.push(common::EditOp::Match);
-        --i;
-        --pl;
-        ++ops;
-        continue;
-      }
-      if (d >= 1) {
-        counter.load(3 * NW);
-        // Indels take priority over substitutions so gap repairs commit
-        // as early (as leftmost) as possible. Any reachable-state walk
-        // emits exactly d_min edits, but windowed alignment discards each
-        // window's tail: deferring indels into the discarded suffix would
-        // leave the window cursors permanently off-diagonal.
-        if (!e.del.bit(pl - 1)) {
-          out.cigar.push(common::EditOp::Deletion);
-          --i;
-          --d;
-          ++ops;
-          continue;
-        }
-        if (!e.ins.bit(pl - 1)) {
-          out.cigar.push(common::EditOp::Insertion);
-          --pl;
-          --d;
-          ++ops;
-          continue;
-        }
-        if (!e.sub.bit(pl - 1)) {
-          out.cigar.push(common::EditOp::Mismatch);
-          --i;
-          --pl;
-          --d;
-          ++ops;
-          continue;
-        }
-      }
-      return false;  // inconsistent table (must not happen)
-    }
-    out.traceback_complete = true;
-    return true;
+    const TbStatus status = walkTraceback(
+        spec.anchor, n, m, dmin, tbOpBudget(spec.tb_op_limit),
+        [&](int i, int pl, int d) {
+          const Edges& e =
+              edges_[static_cast<std::size_t>(i - 1) * levels + d];
+          counter.load(NW);
+          TbFlags f;
+          f.match = !e.match.bit(pl - 1);
+          if (!f.match && d >= 1) {
+            counter.load(3 * NW);
+            f.del = !e.del.bit(pl - 1);
+            f.ins = !e.ins.bit(pl - 1);
+            f.sub = !e.sub.bit(pl - 1);
+          }
+          return f;
+        },
+        [&](common::EditOp op, std::uint32_t count) {
+          out.cigar.push(op, count);
+        });
+    out.traceback_complete = status == TbStatus::Complete;
+    return status != TbStatus::Bad;
   }
 
   // Flat scratch, grown monotonically and reused across solves (and, via

@@ -20,6 +20,7 @@
 //               every shift unless the empty-prefix state is still
 //               affordable (i <= d), see BitVec::shl1.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -130,6 +131,112 @@ int distanceGlobalWith(Solver& solver, std::string& t_rev, std::string& q_rev,
   common::reverseInto(t_rev, target);
   common::reverseInto(q_rev, query);
   return solver.solveDistance(t_rev, q_rev, spec, counter);
+}
+
+/// Outcome of walkTraceback: Complete walks emitted every operation,
+/// Truncated walks stopped at the op limit (still a usable window
+/// result — the windowed driver discards the tail anyway), Bad walks
+/// hit a state no stored transition explains (must not happen on a
+/// consistent table; callers report ok == false).
+enum class TbStatus {
+  Complete,
+  Truncated,
+  Bad,
+};
+
+/// Transition availability at one traceback state, as reported by a
+/// backend's probe. All flags follow the active-low bitvector convention
+/// already resolved to booleans: true = the transition is usable.
+struct TbFlags {
+  bool match = false;
+  bool del = false;
+  bool ins = false;
+  bool sub = false;
+};
+
+/// THE GenASM traceback walk — the single implementation every backend
+/// runs (baseline solver, improved solver, and the SIMD lane solver all
+/// consume it; nothing else may duplicate this loop). The walk owns all
+/// control flow the backends previously hand-synchronized:
+///
+///   * the op budget (`limit`): hitting it truncates the walk;
+///   * the pl == 0 tail in BothEnds mode (unconsumed reversed-text
+///     prefix == the original window's trailing characters, emitted as
+///     one bulk deletion);
+///   * the i == 0 edge (only insertions remain, affordable iff pl <= d);
+///   * the match > del > ins > sub priority. Indels commit eagerly (as
+///     leftmost as possible): windowed alignment discards each window's
+///     tail, so deferring a gap repair into the discarded suffix would
+///     leave the window cursors permanently off-diagonal.
+///
+/// Backends supply only their storage access (`probe(i, pl, d)` returns
+/// the four transition flags for the current state) and their output
+/// (`emit(op, count)` — a cigar push or an operation counter). Probes
+/// are also where each backend's DP-memory accounting lives, so the
+/// MemStats comparison between solvers stays exactly as measured before
+/// the walks were unified.
+template <class Probe, class Emit>
+TbStatus walkTraceback(Anchor anchor, int n, int m, int dmin,
+                       std::uint64_t limit, Probe&& probe, Emit&& emit) {
+  int i = n;
+  int pl = m;  // matched pattern prefix length
+  int d = dmin;
+  std::uint64_t ops = 0;
+  const bool both = anchor == Anchor::BothEnds;
+
+  while (pl > 0 || (both && i > 0)) {
+    if (ops >= limit) return TbStatus::Truncated;
+    if (pl == 0) {
+      // BothEnds tail: the unconsumed reversed-text prefix is the
+      // original window's trailing characters — emit deletions.
+      const std::uint64_t take =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(i), limit - ops);
+      emit(common::EditOp::Deletion, static_cast<std::uint32_t>(take));
+      ops += take;
+      i -= static_cast<int>(take);
+      d -= static_cast<int>(take);
+      continue;
+    }
+    if (i == 0) {
+      // Only insertions can remain; affordable iff pl <= d.
+      if (d >= 1 && pl <= d) {
+        emit(common::EditOp::Insertion, 1);
+        --pl;
+        --d;
+        ++ops;
+        continue;
+      }
+      return TbStatus::Bad;
+    }
+    const TbFlags f = probe(i, pl, d);
+    if (f.match) {
+      emit(common::EditOp::Match, 1);
+      --i;
+      --pl;
+    } else if (f.del) {
+      emit(common::EditOp::Deletion, 1);
+      --i;
+      --d;
+    } else if (f.ins) {
+      emit(common::EditOp::Insertion, 1);
+      --pl;
+      --d;
+    } else if (f.sub) {
+      emit(common::EditOp::Mismatch, 1);
+      --i;
+      --pl;
+      --d;
+    } else {
+      return TbStatus::Bad;  // inconsistent table (must not happen)
+    }
+    ++ops;
+  }
+  return TbStatus::Complete;
+}
+
+/// spec.tb_op_limit as walkTraceback's op budget (-1 = unbounded).
+[[nodiscard]] constexpr std::uint64_t tbOpBudget(int tb_op_limit) noexcept {
+  return tb_op_limit < 0 ? ~0ULL : static_cast<std::uint64_t>(tb_op_limit);
 }
 
 /// Monotone scratch growth: solver arenas only ever grow, so repeated

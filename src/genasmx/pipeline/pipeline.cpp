@@ -243,11 +243,23 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
           reads.size(), [&](std::size_t begin, std::size_t end) {
             engine::AlignmentEngine::AlignerLease aligner(engine_);
             if (cfg_.batched_distance) {
+              // Chain-best alignments for the whole chunk through one
+              // batched call, so the winners' tracebacks also run in
+              // SIMD lanes (alignBatch == per-task align by contract).
+              std::vector<engine::AlignmentTask> best_tasks;
+              std::vector<std::size_t> best_reads;
               for (std::size_t i = begin; i < end; ++i) {
                 if (work[i].cands.empty()) continue;
                 const auto& cand = work[i].cands[0];
-                chain_best[i] = aligner->align(targetView(cand),
-                                               queryView(i, cand));
+                best_tasks.push_back({targetView(cand), queryView(i, cand)});
+                best_reads.push_back(i);
+              }
+              std::vector<common::AlignmentResult> best(best_tasks.size());
+              aligner->alignBatch(best_tasks.data(), best_tasks.size(),
+                                  best.data());
+              for (std::size_t k = 0; k < best_reads.size(); ++k) {
+                const std::size_t i = best_reads[k];
+                chain_best[i] = std::move(best[k]);
                 if (chain_best[i].ok) {
                   picks[i].update(0, static_cast<int>(
                                          chain_best[i].cigar.editDistance()));

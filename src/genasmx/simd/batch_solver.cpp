@@ -1,6 +1,9 @@
 #include "genasmx/simd/batch_solver.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <utility>
 
 #include "genasmx/bitvector/bitvector.hpp"
 #include "genasmx/common/sequence.hpp"
@@ -23,36 +26,67 @@ std::uint64_t onesAboveWord(int d, int w) noexcept {
 
 detail::FillFn fillFor(IsaLevel isa) noexcept {
   switch (isa) {
+    case IsaLevel::Avx512: return detail::kFillAvx512;
     case IsaLevel::Avx2: return detail::kFillAvx2;
     case IsaLevel::Sse2: return detail::kFillSse2;
     default: return detail::kFillScalar;
   }
 }
 
-void ensureWords(std::vector<std::uint64_t>& buf, std::size_t n) {
-  if (buf.size() < n) buf.resize(n);
-}
-
 }  // namespace
 
 SimdBatchSolver::SimdBatchSolver(IsaLevel isa)
-    : isa_(isaSupported(isa) ? isa : IsaLevel::Scalar),
+    : isa_(clampIsa(isa)),
       lanes_(isaLanes(isa_)),
       fill_(fillFor(isa_)) {
   lane_state_.resize(static_cast<std::size_t>(lanes_));
 }
 
+void SimdBatchSolver::prepareOrder(genasm::Anchor anchor,
+                                   const WindowProblem* problems,
+                                   std::size_t count) {
+  ensureScratch(order_, count);
+  order_.resize(count);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  if (!shape_sort_ || count <= static_cast<std::size_t>(lanes_)) return;
+
+  // Deterministic shape key: problems sharing pattern width and text
+  // length pack into groups with no padding at all; the descending
+  // order keeps the widest (most padding-prone) shapes together. An
+  // in-place index sort with the input position as the final tiebreak
+  // is exactly a stable sort, minus stable_sort's per-call temporary
+  // buffer (which would break steady-state allocation-freedom).
+  const auto key = [&](std::size_t idx) {
+    const WindowProblem& p = problems[idx];
+    const int m = static_cast<int>(p.pattern.size());
+    const int n = static_cast<int>(p.text.size());
+    if (m <= 0 || m > kMaxPatternBits) return std::tuple<int, int, int>{};
+    const int k = p.max_edits >= 0 ? p.max_edits
+                                   : genasm::autoEditCap(n, m, anchor);
+    return std::tuple<int, int, int>{bitvector::wordsNeeded(m), n, k};
+  };
+  std::sort(order_.begin(), order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              const auto ka = key(a);
+              const auto kb = key(b);
+              if (ka != kb) return ka > kb;
+              return a < b;
+            });
+}
+
 int SimdBatchSolver::packGroup(genasm::Anchor anchor,
-                               const WindowProblem* problems, std::size_t base,
-                               std::size_t group, int& nw, int& n_max) {
+                               const WindowProblem* problems,
+                               const std::size_t* order, std::size_t group,
+                               int& nw, int& n_max) {
   nw = 1;
   n_max = 0;
   int valid = 0;
+  std::uint64_t useful = 0;
   for (int l = 0; l < lanes_; ++l) {
     Lane& lane = lane_state_[static_cast<std::size_t>(l)];
     lane = Lane{};
     if (static_cast<std::size_t>(l) >= group) continue;
-    const WindowProblem& p = problems[base + static_cast<std::size_t>(l)];
+    const WindowProblem& p = problems[order[static_cast<std::size_t>(l)]];
     lane.prob = &p;
     lane.n = static_cast<int>(p.text.size());
     lane.m = static_cast<int>(p.pattern.size());
@@ -62,9 +96,19 @@ int SimdBatchSolver::packGroup(genasm::Anchor anchor,
     lane.valid = true;
     lane.active = true;
     ++valid;
-    nw = std::max(nw, bitvector::wordsNeeded(lane.m));
+    const int lw = bitvector::wordsNeeded(lane.m);
+    useful += static_cast<std::uint64_t>(lw) *
+              static_cast<std::uint64_t>(lane.n);
+    nw = std::max(nw, lw);
     n_max = std::max(n_max, lane.n);
   }
+  ++stats_.groups;
+  stats_.lane_slots += static_cast<std::uint64_t>(lanes_);
+  stats_.lanes_filled += static_cast<std::uint64_t>(valid);
+  stats_.packed_words += static_cast<std::uint64_t>(lanes_) *
+                         static_cast<std::uint64_t>(nw) *
+                         static_cast<std::uint64_t>(n_max);
+  stats_.useful_words += useful;
   if (valid == 0) return 0;
 
   // Pack the per-column pattern-mask words, lane index innermost. Lanes
@@ -74,7 +118,7 @@ int SimdBatchSolver::packGroup(genasm::Anchor anchor,
   const std::size_t colstride =
       static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
   const std::size_t pm_words = static_cast<std::size_t>(n_max) * colstride;
-  ensureWords(pm_, pm_words);
+  ensureScratch(pm_, pm_words);
   std::fill(pm_.begin(),
             pm_.begin() + static_cast<std::ptrdiff_t>(pm_words), ~0ULL);
   for (int l = 0; l < lanes_; ++l) {
@@ -104,16 +148,14 @@ int SimdBatchSolver::packGroup(genasm::Anchor anchor,
   return valid;
 }
 
-void SimdBatchSolver::runDistanceGroup(genasm::Anchor anchor,
-                                       std::size_t group, int nw, int n_max,
-                                       int valid) {
-  (void)group;
+void SimdBatchSolver::runDistanceGroup(genasm::Anchor anchor, int nw,
+                                       int n_max, int valid) {
   const std::size_t colstride =
       static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
   const std::size_t row_words =
       static_cast<std::size_t>(n_max + 1) * colstride;
-  ensureWords(row_a_, row_words);
-  ensureWords(row_b_, row_words);
+  ensureScratch(row_a_, row_words);
+  ensureScratch(row_b_, row_words);
   std::uint64_t* cur = row_a_.data();
   std::uint64_t* prev = row_b_.data();
   const bool both = anchor == genasm::Anchor::BothEnds;
@@ -153,9 +195,8 @@ void SimdBatchSolver::runDistanceGroup(genasm::Anchor anchor,
   }
 }
 
-void SimdBatchSolver::runWindowGroup(genasm::Anchor anchor, std::size_t group,
-                                     int nw, int n_max, int valid,
-                                     WindowOutcome* outs) {
+void SimdBatchSolver::runPersistedFill(genasm::Anchor anchor, int nw,
+                                       int n_max, int valid) {
   const std::size_t colstride =
       static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
   const std::size_t row_words =
@@ -167,7 +208,7 @@ void SimdBatchSolver::runWindowGroup(genasm::Anchor anchor, std::size_t group,
   // early never claim deeper levels.
   int remaining = valid;
   for (int d = 0; remaining > 0; ++d) {
-    ensureWords(rows_, static_cast<std::size_t>(d + 1) * row_words);
+    ensureScratch(rows_, static_cast<std::size_t>(d + 1) * row_words);
     std::uint64_t* cur = rows_.data() + static_cast<std::size_t>(d) * row_words;
     const std::uint64_t* prev =
         d > 0 ? rows_.data() + static_cast<std::size_t>(d - 1) * row_words
@@ -202,34 +243,19 @@ void SimdBatchSolver::runWindowGroup(genasm::Anchor anchor, std::size_t group,
       }
     }
   }
-
-  for (int l = 0; l < lanes_ && static_cast<std::size_t>(l) < group; ++l) {
-    const Lane& lane = lane_state_[static_cast<std::size_t>(l)];
-    WindowOutcome& out = outs[l];
-    out = WindowOutcome{};
-    if (!lane.valid || lane.dmin < 0) continue;  // ok stays false
-    out.distance = lane.dmin;
-    out.ok = tracebackLane(anchor, lane, l, nw, n_max, out);
-  }
 }
 
-/// Per-lane scalar traceback over the persisted SoA rows — the improved
-/// solver's compressed-entry walk (recompute transition bits from stored
-/// R values), counting committed operations instead of building a cigar.
-/// Identical operation sequence, therefore identical edit totals and
-/// consumption, for both window solvers (their tracebacks agree bit for
-/// bit; tests pin this).
-///
-/// LOCKSTEP WARNING: this walk must mirror ImprovedWindowSolver::
-/// traceback (and the baseline's) exactly — transition-bit derivation,
-/// the match > del > ins > sub priority, and the pl==0 / i==0 /
-/// tb_op_limit branches. Any change to a solver traceback must be
-/// mirrored here or the batched distance march silently diverges from
-/// the scalar flows (test_simd's window-solve and march parity suites
-/// are the tripwire).
-bool SimdBatchSolver::tracebackLane(genasm::Anchor anchor, const Lane& lane,
-                                    int lane_idx, int nw, int n_max,
-                                    WindowOutcome& out) const {
+/// Per-lane probe for the shared genasm::walkTraceback: the improved
+/// solver's compressed-entry derivation (recompute transition bits from
+/// stored R values), reading the persisted SoA rows. The walk itself —
+/// priority, op budget, edge branches — is the one templated
+/// implementation in genasm_common.hpp, so the lane solves cannot drift
+/// from the scalar solvers' committed operation sequences.
+template <class Emit>
+genasm::TbStatus SimdBatchSolver::walkLane(genasm::Anchor anchor,
+                                           const Lane& lane, int lane_idx,
+                                           int nw, int n_max,
+                                           Emit&& emit) const {
   const std::size_t colstride =
       static_cast<std::size_t>(nw) * static_cast<std::size_t>(lanes_);
   const std::size_t row_words =
@@ -254,93 +280,67 @@ bool SimdBatchSolver::tracebackLane(genasm::Anchor anchor, const Lane& lane,
     return ((v >> (bitidx & 63)) & 1) != 0;
   };
 
-  int i = n;
-  int pl = m;
-  int d = lane.dmin;
-  const int limit_ops = lane.prob->tb_op_limit;
-  const std::uint64_t limit =
-      limit_ops < 0 ? ~0ULL : static_cast<std::uint64_t>(limit_ops);
-  std::uint64_t ops = 0;
-  const bool both = anchor == genasm::Anchor::BothEnds;
+  return genasm::walkTraceback(
+      anchor, n, m, lane.dmin, genasm::tbOpBudget(lane.prob->tb_op_limit),
+      [&](int i, int pl, int d) {
+        // text_rev[i-1] == text[n-i]; pattern_rev[pl-1] == pattern[m-pl].
+        genasm::TbFlags f;
+        f.match =
+            common::baseCode(pattern[static_cast<std::size_t>(m - pl)]) ==
+                common::baseCode(text[static_cast<std::size_t>(n - i)]) &&
+            !rBitIsOne(i - 1, d, pl - 2);
+        f.del = d >= 1 && !rBitIsOne(i - 1, d - 1, pl - 1);
+        f.ins = d >= 1 && !rBitIsOne(i, d - 1, pl - 2);
+        f.sub = d >= 1 && !rBitIsOne(i - 1, d - 1, pl - 2);
+        return f;
+      },
+      std::forward<Emit>(emit));
+}
 
-  while (pl > 0 || (both && i > 0)) {
-    if (ops >= limit) return true;  // truncated (traceback incomplete)
-    if (pl == 0) {
-      // BothEnds tail: unconsumed reversed-text prefix becomes trailing
-      // deletions in original orientation.
-      const std::uint64_t take =
-          std::min<std::uint64_t>(static_cast<std::uint64_t>(i), limit - ops);
-      out.text_consumed += take;
-      out.edits += take;
-      ops += take;
-      i -= static_cast<int>(take);
-      d -= static_cast<int>(take);
-      continue;
-    }
-    if (i == 0) {
-      if (d >= 1 && pl <= d) {
-        out.pattern_consumed += 1;
-        out.edits += 1;
-        --pl;
-        --d;
-        ++ops;
-        continue;
-      }
-      return false;  // inconsistent table (must not happen)
-    }
-    // text_rev[i-1] == text[n-i]; pattern_rev[pl-1] == pattern[m-pl].
-    const bool match_ok =
-        common::baseCode(pattern[static_cast<std::size_t>(m - pl)]) ==
-            common::baseCode(text[static_cast<std::size_t>(n - i)]) &&
-        !rBitIsOne(i - 1, d, pl - 2);
-    const bool del_ok = d >= 1 && !rBitIsOne(i - 1, d - 1, pl - 1);
-    const bool ins_ok = d >= 1 && !rBitIsOne(i, d - 1, pl - 2);
-    const bool sub_ok = d >= 1 && !rBitIsOne(i - 1, d - 1, pl - 2);
-    // Priority match > del > ins > sub — identical to both solvers'
-    // tracebacks (indels commit eagerly; see the baseline's note).
-    if (match_ok) {
-      out.text_consumed += 1;
-      out.pattern_consumed += 1;
-      --i;
-      --pl;
-    } else if (del_ok) {
-      out.text_consumed += 1;
-      out.edits += 1;
-      --i;
-      --d;
-    } else if (ins_ok) {
-      out.pattern_consumed += 1;
-      out.edits += 1;
-      --pl;
-      --d;
-    } else if (sub_ok) {
-      out.text_consumed += 1;
-      out.pattern_consumed += 1;
-      out.edits += 1;
-      --i;
-      --pl;
-      --d;
-    } else {
-      return false;  // inconsistent table (must not happen)
-    }
-    ++ops;
-  }
-  return true;
+bool SimdBatchSolver::tracebackLane(genasm::Anchor anchor, const Lane& lane,
+                                    int lane_idx, int nw, int n_max,
+                                    WindowOutcome& out) const {
+  const genasm::TbStatus status = walkLane(
+      anchor, lane, lane_idx, nw, n_max,
+      [&](common::EditOp op, std::uint32_t count) {
+        switch (op) {
+          case common::EditOp::Match:
+            out.text_consumed += count;
+            out.pattern_consumed += count;
+            break;
+          case common::EditOp::Mismatch:
+            out.text_consumed += count;
+            out.pattern_consumed += count;
+            out.edits += count;
+            break;
+          case common::EditOp::Deletion:
+            out.text_consumed += count;
+            out.edits += count;
+            break;
+          case common::EditOp::Insertion:
+            out.pattern_consumed += count;
+            out.edits += count;
+            break;
+        }
+      });
+  return status != genasm::TbStatus::Bad;
 }
 
 void SimdBatchSolver::solveDistanceBatch(genasm::Anchor anchor,
                                          const WindowProblem* problems,
                                          std::size_t count, int* results) {
+  prepareOrder(anchor, problems, count);
   for (std::size_t base = 0; base < count;
        base += static_cast<std::size_t>(lanes_)) {
     const std::size_t group =
         std::min<std::size_t>(static_cast<std::size_t>(lanes_), count - base);
+    const std::size_t* order = order_.data() + base;
     int nw = 1;
     int n_max = 0;
-    const int valid = packGroup(anchor, problems, base, group, nw, n_max);
-    if (valid > 0) runDistanceGroup(anchor, group, nw, n_max, valid);
+    const int valid = packGroup(anchor, problems, order, group, nw, n_max);
+    if (valid > 0) runDistanceGroup(anchor, nw, n_max, valid);
     for (std::size_t l = 0; l < group; ++l) {
-      results[base + l] = lane_state_[l].valid ? lane_state_[l].dmin : -1;
+      results[order[l]] = lane_state_[l].valid ? lane_state_[l].dmin : -1;
     }
   }
 }
@@ -348,17 +348,59 @@ void SimdBatchSolver::solveDistanceBatch(genasm::Anchor anchor,
 void SimdBatchSolver::solveWindowBatch(genasm::Anchor anchor,
                                        const WindowProblem* problems,
                                        std::size_t count, WindowOutcome* outs) {
+  prepareOrder(anchor, problems, count);
   for (std::size_t base = 0; base < count;
        base += static_cast<std::size_t>(lanes_)) {
     const std::size_t group =
         std::min<std::size_t>(static_cast<std::size_t>(lanes_), count - base);
+    const std::size_t* order = order_.data() + base;
     int nw = 1;
     int n_max = 0;
-    const int valid = packGroup(anchor, problems, base, group, nw, n_max);
-    if (valid > 0) {
-      runWindowGroup(anchor, group, nw, n_max, valid, outs + base);
-    } else {
-      for (std::size_t l = 0; l < group; ++l) outs[base + l] = WindowOutcome{};
+    const int valid = packGroup(anchor, problems, order, group, nw, n_max);
+    if (valid > 0) runPersistedFill(anchor, nw, n_max, valid);
+    for (std::size_t l = 0; l < group; ++l) {
+      const Lane& lane = lane_state_[l];
+      WindowOutcome& out = outs[order[l]];
+      out = WindowOutcome{};
+      if (!lane.valid || lane.dmin < 0) continue;  // ok stays false
+      out.distance = lane.dmin;
+      out.ok = tracebackLane(anchor, lane, static_cast<int>(l), nw, n_max, out);
+    }
+  }
+}
+
+void SimdBatchSolver::alignBatch(genasm::Anchor anchor,
+                                 const WindowProblem* problems,
+                                 std::size_t count,
+                                 genasm::WindowResult* outs) {
+  prepareOrder(anchor, problems, count);
+  for (std::size_t base = 0; base < count;
+       base += static_cast<std::size_t>(lanes_)) {
+    const std::size_t group =
+        std::min<std::size_t>(static_cast<std::size_t>(lanes_), count - base);
+    const std::size_t* order = order_.data() + base;
+    int nw = 1;
+    int n_max = 0;
+    const int valid = packGroup(anchor, problems, order, group, nw, n_max);
+    if (valid > 0) runPersistedFill(anchor, nw, n_max, valid);
+    for (std::size_t l = 0; l < group; ++l) {
+      const Lane& lane = lane_state_[l];
+      // In-place reset, as the scalar solvers' in-place solve() does:
+      // the cigar keeps its capacity across batches.
+      genasm::WindowResult& out = outs[order[l]];
+      out.ok = false;
+      out.distance = -1;
+      out.traceback_complete = false;
+      out.cigar.clear();
+      if (!lane.valid || lane.dmin < 0) continue;  // ok stays false
+      out.distance = lane.dmin;
+      const genasm::TbStatus status = walkLane(
+          anchor, lane, static_cast<int>(l), nw, n_max,
+          [&](common::EditOp op, std::uint32_t cnt) {
+            out.cigar.push(op, cnt);
+          });
+      out.ok = status != genasm::TbStatus::Bad;
+      out.traceback_complete = status == genasm::TbStatus::Complete;
     }
   }
 }

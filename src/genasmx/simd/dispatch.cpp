@@ -11,6 +11,9 @@ namespace {
 bool cpuSupports(IsaLevel level) noexcept {
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
   switch (level) {
+    case IsaLevel::Avx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
     case IsaLevel::Avx2: return __builtin_cpu_supports("avx2") != 0;
     case IsaLevel::Sse2: return __builtin_cpu_supports("sse2") != 0;
     default: return true;
@@ -31,10 +34,20 @@ IsaLevel detect() noexcept {
   return IsaLevel::Scalar;
 #else
   if (envForcesScalar()) return IsaLevel::Scalar;
+  if (isaSupported(IsaLevel::Avx512)) return IsaLevel::Avx512;
   if (isaSupported(IsaLevel::Avx2)) return IsaLevel::Avx2;
   if (isaSupported(IsaLevel::Sse2)) return IsaLevel::Sse2;
   return IsaLevel::Scalar;
 #endif
+}
+
+/// Next level down the clamp chain Avx512 -> Avx2 -> Sse2 -> Scalar.
+IsaLevel lowerLevel(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::Avx512: return IsaLevel::Avx2;
+    case IsaLevel::Avx2: return IsaLevel::Sse2;
+    default: return IsaLevel::Scalar;
+  }
 }
 
 std::atomic<int>& activeSlot() noexcept {
@@ -47,6 +60,7 @@ std::atomic<int>& activeSlot() noexcept {
 
 std::string_view isaName(IsaLevel level) noexcept {
   switch (level) {
+    case IsaLevel::Avx512: return "avx512";
     case IsaLevel::Avx2: return "avx2";
     case IsaLevel::Sse2: return "sse2";
     default: return "scalar";
@@ -55,6 +69,8 @@ std::string_view isaName(IsaLevel level) noexcept {
 
 bool isaSupported(IsaLevel level) noexcept {
   switch (level) {
+    case IsaLevel::Avx512:
+      return detail::kFillAvx512 != nullptr && cpuSupports(level);
     case IsaLevel::Avx2:
       return detail::kFillAvx2 != nullptr && cpuSupports(level);
     case IsaLevel::Sse2:
@@ -73,12 +89,15 @@ IsaLevel activeIsa() noexcept {
   return static_cast<IsaLevel>(v);
 }
 
-IsaLevel forceIsa(IsaLevel level) noexcept {
-  if (!isaSupported(level)) {
-    level = isaSupported(IsaLevel::Sse2) && level == IsaLevel::Avx2
-                ? IsaLevel::Sse2
-                : IsaLevel::Scalar;
+IsaLevel clampIsa(IsaLevel level) noexcept {
+  while (level != IsaLevel::Scalar && !isaSupported(level)) {
+    level = lowerLevel(level);
   }
+  return level;
+}
+
+IsaLevel forceIsa(IsaLevel level) noexcept {
+  level = clampIsa(level);
   activeSlot().store(static_cast<int>(level), std::memory_order_release);
   return level;
 }

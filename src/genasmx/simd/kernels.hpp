@@ -40,5 +40,6 @@ extern const FillFn kFillScalar;
 /// Vector kernels; nullptr where the build lacks the instruction set.
 extern const FillFn kFillSse2;
 extern const FillFn kFillAvx2;
+extern const FillFn kFillAvx512;
 
 }  // namespace gx::simd::detail

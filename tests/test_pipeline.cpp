@@ -14,6 +14,7 @@
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/io/paf.hpp"
 #include "genasmx/pipeline/pipeline.hpp"
+#include "genasmx/simd/dispatch.hpp"
 #include "genasmx/readsim/genome.hpp"
 #include "genasmx/readsim/read_simulator.hpp"
 #include "genasmx/refmodel/reference.hpp"
@@ -220,6 +221,50 @@ TEST(MappingPipeline, TwoPhasePafIsByteIdenticalToSinglePhase) {
   // flow's loosened caps are provably output-preserving.
   EXPECT_EQ(single1, run(true, 1, false));
   EXPECT_EQ(single1, run(true, 8, false));
+}
+
+// The emitted PAF must not depend on which SIMD ISA the lane kernels run
+// at: every supported level — scalar lanes, SSE2, AVX2, AVX-512 where the
+// host has it — emits byte-identical records for the full/secondary,
+// single-phase primary-only, and two-phase flows.
+TEST(MappingPipeline, PafIsByteIdenticalAcrossIsaLevels) {
+  const auto genome = testGenome(120'000, 77);
+  auto rcfg = readsim::ReadSimConfig::pacbioClr(20, 1'600);
+  rcfg.seed = 83;
+  const auto fastx = toFastx(readsim::simulateReads(genome, rcfg));
+  std::ostringstream fq;
+  io::writeFastx(fq, fastx);
+
+  auto run = [&](bool two_phase, bool emit_secondary) {
+    PipelineConfig cfg;
+    cfg.two_phase = two_phase;
+    cfg.emit_secondary = emit_secondary;
+    cfg.engine.threads = 2;
+    cfg.batch_reads = 9;
+    MappingPipeline pipe("ref", std::string(genome), cfg);
+    std::istringstream in(fq.str());
+    std::ostringstream out;
+    io::PafWriter writer(out);
+    (void)pipe.run(in, writer);
+    return out.str();
+  };
+
+  const auto active = simd::activeIsa();
+  // Reference PAF per flow at whatever level the host dispatched.
+  const std::string full = run(false, true);
+  const std::string single = run(false, false);
+  const std::string two = run(true, false);
+  ASSERT_FALSE(full.empty());
+  for (const auto level :
+       {simd::IsaLevel::Scalar, simd::IsaLevel::Sse2, simd::IsaLevel::Avx2,
+        simd::IsaLevel::Avx512}) {
+    if (!simd::isaSupported(level)) continue;
+    simd::forceIsa(level);
+    EXPECT_EQ(full, run(false, true)) << simd::isaName(level);
+    EXPECT_EQ(single, run(false, false)) << simd::isaName(level);
+    EXPECT_EQ(two, run(true, false)) << simd::isaName(level);
+  }
+  simd::forceIsa(active);
 }
 
 // ------------------------------------------------------- multi-contig

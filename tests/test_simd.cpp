@@ -31,6 +31,9 @@ std::vector<simd::IsaLevel> supportedLevels() {
   if (simd::isaSupported(simd::IsaLevel::Avx2)) {
     out.push_back(simd::IsaLevel::Avx2);
   }
+  if (simd::isaSupported(simd::IsaLevel::Avx512)) {
+    out.push_back(simd::IsaLevel::Avx512);
+  }
   return out;
 }
 
@@ -72,17 +75,19 @@ template <int NW>
 genasm::WindowResult scalarSolveAt(std::string_view t_rev,
                                    std::string_view q_rev,
                                    const genasm::WindowSpec& spec,
-                                   bool baseline) {
+                                   bool baseline,
+                                   const core::ImprovedOptions& opts = {}) {
   if (baseline) {
     genasm::BaselineWindowSolver<NW> solver;
     return solver.solve(t_rev, q_rev, spec);
   }
-  core::ImprovedWindowSolver<NW> solver;
+  core::ImprovedWindowSolver<NW> solver(opts);
   return solver.solve(t_rev, q_rev, spec);
 }
 
 genasm::WindowResult scalarSolve(const simd::WindowProblem& p,
-                                 genasm::Anchor anchor, bool baseline) {
+                                 genasm::Anchor anchor, bool baseline,
+                                 const core::ImprovedOptions& opts = {}) {
   const auto t_rev = common::reversed(p.text);
   const auto q_rev = common::reversed(p.pattern);
   genasm::WindowSpec spec;
@@ -92,10 +97,10 @@ genasm::WindowResult scalarSolve(const simd::WindowProblem& p,
   const int nw =
       bitvector::wordsNeeded(static_cast<int>(p.pattern.size()));
   switch (nw) {
-    case 1: return scalarSolveAt<1>(t_rev, q_rev, spec, baseline);
-    case 2: return scalarSolveAt<2>(t_rev, q_rev, spec, baseline);
-    case 4: return scalarSolveAt<4>(t_rev, q_rev, spec, baseline);
-    default: return scalarSolveAt<8>(t_rev, q_rev, spec, baseline);
+    case 1: return scalarSolveAt<1>(t_rev, q_rev, spec, baseline, opts);
+    case 2: return scalarSolveAt<2>(t_rev, q_rev, spec, baseline, opts);
+    case 4: return scalarSolveAt<4>(t_rev, q_rev, spec, baseline, opts);
+    default: return scalarSolveAt<8>(t_rev, q_rev, spec, baseline, opts);
   }
 }
 
@@ -295,6 +300,284 @@ TEST(SimdWindowedMarch, MatchesScalarDistanceWindowedWithCaps) {
       core::distanceWindowedBatch(solver, cfg, requests.data(),
                                   requests.size(), got.data());
       EXPECT_EQ(got, want) << simd::isaName(level) << " window=" << window;
+    }
+  }
+}
+
+// --------------------------------------------------------- batched align
+
+/// alignBatch's contract is scalar solve() equality, cigar included.
+void expectSameWindowResult(const genasm::WindowResult& got,
+                            const genasm::WindowResult& want,
+                            const std::string& ctx) {
+  EXPECT_EQ(got.ok, want.ok) << ctx;
+  if (!want.ok) return;
+  EXPECT_EQ(got.distance, want.distance) << ctx;
+  EXPECT_EQ(got.traceback_complete, want.traceback_complete) << ctx;
+  EXPECT_EQ(got.cigar, want.cigar)
+      << ctx << " got=" << got.cigar.str() << " want=" << want.cigar.str();
+}
+
+TEST(SimdBatchAlign, MatchesScalarSolveAcrossWidths) {
+  // Width classes straddling every BitVec instantiation, both anchors,
+  // every supported ISA: the batched alignment the engine's alignBatch
+  // chunks ride on must reproduce the scalar solve cigar for cigar —
+  // including tb_op_limit truncation and cap failures.
+  for (const std::size_t max_m : {64UL, 128UL, 256UL, 512UL}) {
+    util::Xoshiro256 rng(7000 + max_m);
+    std::vector<std::string> store;
+    const auto problems = randomProblems(rng, 40, max_m, store);
+    for (const auto level : supportedLevels()) {
+      simd::SimdBatchSolver solver(level);
+      for (const auto anchor :
+           {genasm::Anchor::StartOnly, genasm::Anchor::BothEnds}) {
+        std::vector<genasm::WindowResult> got(problems.size());
+        solver.alignBatch(anchor, problems.data(), problems.size(),
+                          got.data());
+        for (std::size_t i = 0; i < problems.size(); ++i) {
+          for (const bool baseline : {false, true}) {
+            const auto want = scalarSolve(problems[i], anchor, baseline);
+            expectSameWindowResult(
+                got[i], want,
+                std::string(simd::isaName(level)) + " i=" +
+                    std::to_string(i) + " max_m=" + std::to_string(max_m) +
+                    " bl=" + std::to_string(baseline));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBatchAlign, EveryImprovedOptionsMaskAgrees) {
+  // The lane solves ignore ImprovedOptions (they change the scalar
+  // solver's storage/accounting, never its results); pin that against
+  // all eight masks.
+  util::Xoshiro256 rng(31337);
+  std::vector<std::string> store;
+  const auto problems = randomProblems(rng, 24, 96, store);
+  simd::SimdBatchSolver solver;  // active ISA
+  for (const auto anchor :
+       {genasm::Anchor::StartOnly, genasm::Anchor::BothEnds}) {
+    std::vector<genasm::WindowResult> got(problems.size());
+    solver.alignBatch(anchor, problems.data(), problems.size(), got.data());
+    for (int mask = 0; mask < 8; ++mask) {
+      core::ImprovedOptions opts;
+      opts.compress_entries = (mask & 1) != 0;
+      opts.early_termination = (mask & 2) != 0;
+      opts.traceback_pruning = (mask & 4) != 0;
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        expectSameWindowResult(
+            got[i], scalarSolve(problems[i], anchor, false, opts),
+            "mask=" + std::to_string(mask) + " i=" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(SimdBatchAlign, RaggedBatchesAndShapeSortOffAreIdentical) {
+  // Batch sizes around the lane count (partial final groups), with shape
+  // sorting on and off: scatter-back must restore input order and the
+  // results must be bit-identical either way.
+  util::Xoshiro256 rng(555);
+  std::vector<std::string> store;
+  const auto all = randomProblems(rng, 40, 200, store);
+  for (const auto level : supportedLevels()) {
+    simd::SimdBatchSolver sorted(level);
+    simd::SimdBatchSolver unsorted(level);
+    unsorted.setShapeSort(false);
+    EXPECT_TRUE(sorted.shapeSort());
+    EXPECT_FALSE(unsorted.shapeSort());
+    const std::size_t lanes = static_cast<std::size_t>(sorted.lanes());
+    for (const std::size_t batch :
+         {std::size_t{1}, lanes, lanes + 3, all.size()}) {
+      std::vector<genasm::WindowResult> a(batch), b(batch);
+      sorted.alignBatch(genasm::Anchor::StartOnly, all.data(), batch,
+                        a.data());
+      unsorted.alignBatch(genasm::Anchor::StartOnly, all.data(), batch,
+                          b.data());
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::string ctx = std::string(simd::isaName(level)) +
+                                " batch=" + std::to_string(batch) +
+                                " i=" + std::to_string(i);
+        expectSameWindowResult(a[i], b[i], ctx + " (sort A/B)");
+        expectSameWindowResult(
+            a[i], scalarSolve(all[i], genasm::Anchor::StartOnly, false), ctx);
+      }
+    }
+  }
+}
+
+TEST(SimdBatchAlign, OccupancyStatsTrackPackingAndShapeSortReducesPadding) {
+  // Alternating tiny/huge shapes: unsorted groups pad every tiny lane to
+  // the huge geometry; shape sorting separates them into homogeneous
+  // groups. The occupancy counters are what BENCH_pipeline.json reports.
+  util::Xoshiro256 rng(808);
+  std::vector<std::string> store;
+  store.reserve(64);
+  std::vector<simd::WindowProblem> problems;
+  for (int i = 0; i < 32; ++i) {
+    const bool big = (i % 2) == 0;
+    store.push_back(common::randomSequence(rng, big ? 700 : 12));
+    const std::string& text = store.back();
+    store.push_back(common::randomSequence(rng, big ? 480 : 8));
+    problems.push_back({text, store.back(), -1, -1});
+  }
+  simd::SimdBatchSolver sorted;
+  simd::SimdBatchSolver unsorted;
+  unsorted.setShapeSort(false);
+  std::vector<genasm::WindowResult> outs(problems.size());
+  sorted.alignBatch(genasm::Anchor::BothEnds, problems.data(),
+                    problems.size(), outs.data());
+  unsorted.alignBatch(genasm::Anchor::BothEnds, problems.data(),
+                      problems.size(), outs.data());
+  for (const auto* solver : {&sorted, &unsorted}) {
+    const simd::BatchStats& s = solver->stats();
+    EXPECT_GT(s.groups, 0u);
+    EXPECT_EQ(s.lanes_filled, problems.size());
+    EXPECT_GE(s.lane_slots, s.lanes_filled);
+    EXPECT_GE(s.packed_words, s.useful_words);
+    EXPECT_GT(s.useful_words, 0u);
+  }
+  // Same useful work either way; strictly less padded work when sorting
+  // actually has lanes to group (more than one lane per group).
+  EXPECT_EQ(sorted.stats().useful_words, unsorted.stats().useful_words);
+  if (sorted.lanes() > 1) {
+    EXPECT_LT(sorted.stats().packed_words, unsorted.stats().packed_words);
+  }
+  sorted.resetStats();
+  EXPECT_EQ(sorted.stats().groups, 0u);
+  EXPECT_EQ(sorted.stats().packed_words, 0u);
+}
+
+TEST(SimdWindowedMarch, AlignBatchedMatchesScalarAlignWindowed) {
+  // The batched windowed-alignment march vs the scalar driver, full
+  // AlignmentResult equality (ok, distance, score, cigar) for both
+  // window solvers, plus degenerate requests.
+  util::Xoshiro256 rng(2024);
+  for (const int window : {64, 128}) {
+    core::WindowConfig cfg;
+    cfg.window = window;
+    cfg.overlap = window / 3;
+    std::vector<std::string> store;
+    store.reserve(40);
+    std::vector<core::BatchedAlignRequest> requests;
+    for (int i = 0; i < 14; ++i) {
+      const std::size_t qlen = 200 + rng.below(1400);
+      store.push_back(common::randomSequence(rng, qlen + rng.below(300)));
+      const std::string& t = store.back();
+      store.push_back(
+          common::mutateSequence(rng, t.substr(0, qlen), rng.below(qlen / 5)));
+      requests.push_back({t, store.back()});
+    }
+    const std::string long_t = common::randomSequence(rng, 500);
+    requests.push_back({long_t, ""});                            // deletions
+    requests.push_back({"", std::string_view(long_t).substr(0, 50)});
+    requests.push_back({long_t, std::string_view(long_t).substr(0, 40)});
+    for (const auto level : supportedLevels()) {
+      simd::SimdBatchSolver solver(level);
+      std::vector<common::AlignmentResult> got(requests.size());
+      core::alignWindowedBatch(solver, cfg, requests.data(), requests.size(),
+                               got.data());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto want = core::alignWindowedImproved(
+            requests[i].target, requests[i].query, cfg);
+        const std::string ctx = std::string(simd::isaName(level)) +
+                                " window=" + std::to_string(window) +
+                                " i=" + std::to_string(i);
+        EXPECT_EQ(got[i].ok, want.ok) << ctx;
+        EXPECT_EQ(got[i].edit_distance, want.edit_distance) << ctx;
+        EXPECT_EQ(got[i].score, want.score) << ctx;
+        EXPECT_EQ(got[i].cigar, want.cigar) << ctx;
+        // The baseline driver commits the identical alignment.
+        const auto base = core::alignWindowedBaseline(
+            requests[i].target, requests[i].query, cfg);
+        EXPECT_EQ(got[i].cigar, base.cigar) << ctx;
+      }
+    }
+  }
+}
+
+TEST(SimdWindowedMarch, SteadyStateBatchedMarchesAllocateNothing) {
+  // The batched marches (alignment and distance) must be allocation-free
+  // once their arenas are warm: re-running the same request set grows
+  // neither the lane solver's arenas nor the march scratch.
+  util::Xoshiro256 rng(606);
+  std::vector<std::string> store;
+  store.reserve(24);
+  std::vector<core::BatchedAlignRequest> areqs;
+  std::vector<core::BatchedDistanceRequest> dreqs;
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t qlen = 600 + rng.below(900);
+    store.push_back(common::randomSequence(rng, qlen + 100));
+    const std::string& t = store.back();
+    store.push_back(
+        common::mutateSequence(rng, t.substr(0, qlen), rng.below(60)));
+    areqs.push_back({t, store.back()});
+    dreqs.push_back({t, store.back(), -1});
+  }
+  core::WindowConfig cfg;
+  simd::SimdBatchSolver solver;
+  core::WindowedBatchScratch scratch;
+  std::vector<common::AlignmentResult> ares(areqs.size());
+  std::vector<int> dres(dreqs.size());
+  // Cold pass: arenas grow to the request set's peak geometry.
+  core::alignWindowedBatch(solver, cfg, areqs.data(), areqs.size(),
+                           ares.data(), scratch);
+  core::distanceWindowedBatch(solver, cfg, dreqs.data(), dreqs.size(),
+                              dres.data(), scratch);
+  const std::uint64_t solver_cold = solver.scratchAllocs();
+  const std::uint64_t scratch_cold = scratch.allocs();
+  EXPECT_GT(solver_cold, 0u);
+  EXPECT_GT(scratch_cold, 0u);
+  // Warm passes: identical request set, identical sweep geometry — the
+  // steady-state contract the bench's
+  // steady_scratch_allocs_per_window == 0 figure reports.
+  for (int rep = 0; rep < 3; ++rep) {
+    core::alignWindowedBatch(solver, cfg, areqs.data(), areqs.size(),
+                             ares.data(), scratch);
+    core::distanceWindowedBatch(solver, cfg, dreqs.data(), dreqs.size(),
+                                dres.data(), scratch);
+  }
+  EXPECT_EQ(solver.scratchAllocs(), solver_cold);
+  EXPECT_EQ(scratch.allocs(), scratch_cold);
+}
+
+// The GenASM traceback is ONE implementation (genasm::walkTraceback):
+// the baseline solver, the improved solver under every options mask, and
+// the SIMD lane solver are probe+emit adapters over the same walk. This
+// regression pins them op-for-op — including truncation at tb_op_limit
+// and BothEnds bulk-deletion tails — so any future fork of the walk
+// logic in one backend fails here.
+TEST(TracebackUnification, AllBackendsCommitIdenticalOperationSequences) {
+  util::Xoshiro256 rng(90210);
+  std::vector<std::string> store;
+  auto problems = randomProblems(rng, 32, 120, store);
+  // Force tight traceback budgets on half the set so Truncated walks are
+  // exercised, not just Complete ones.
+  for (std::size_t i = 0; i < problems.size(); i += 2) {
+    problems[i].tb_op_limit =
+        static_cast<int>(1 + rng.below(problems[i].pattern.size() + 4));
+  }
+  simd::SimdBatchSolver solver;
+  for (const auto anchor :
+       {genasm::Anchor::StartOnly, genasm::Anchor::BothEnds}) {
+    std::vector<genasm::WindowResult> lane(problems.size());
+    solver.alignBatch(anchor, problems.data(), problems.size(), lane.data());
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      const auto base = scalarSolve(problems[i], anchor, true);
+      const std::string ctx = "i=" + std::to_string(i) +
+                              " tb=" + std::to_string(problems[i].tb_op_limit);
+      expectSameWindowResult(lane[i], base, ctx + " (lane vs baseline)");
+      for (int mask = 0; mask < 8; ++mask) {
+        core::ImprovedOptions opts;
+        opts.compress_entries = (mask & 1) != 0;
+        opts.early_termination = (mask & 2) != 0;
+        opts.traceback_pruning = (mask & 4) != 0;
+        expectSameWindowResult(
+            scalarSolve(problems[i], anchor, false, opts), base,
+            ctx + " (improved mask " + std::to_string(mask) + ")");
+      }
     }
   }
 }
