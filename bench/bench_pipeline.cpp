@@ -27,6 +27,7 @@
 #include "genasmx/engine/registry.hpp"
 #include "genasmx/io/paf.hpp"
 #include "genasmx/mapper/index.hpp"
+#include "genasmx/mapper/index_io.hpp"
 #include "genasmx/pipeline/pipeline.hpp"
 #include "genasmx/refmodel/reference.hpp"
 #include "genasmx/simd/batch_solver.hpp"
@@ -69,7 +70,8 @@ FlowTiming timeFlow(const std::string& genome,
   pcfg.emit_secondary = emit_secondary;
   pcfg.two_phase = two_phase;
   pcfg.batched_distance = batched_distance;
-  pipeline::MappingPipeline pipe("bench_ref", std::string(genome), pcfg);
+  pipeline::MappingPipeline pipe(
+      refmodel::Reference("bench_ref", std::string(genome)), pcfg);
   // Warm pass (index/file-cache/arena first-touch), then the timed pass.
   (void)pipe.mapBatch(reads);
   const pipeline::StageTimes warm_stages = pipe.stageTimes();
@@ -368,6 +370,39 @@ int runTracked(bench::WorkloadConfig cfg) {
               sc_blocks, sc_serial_seconds, sc_parallel_seconds,
               index_pool.size(), sc_speedup);
 
+  // --- index serve-from-disk: write the 8-contig tracked index as a
+  // genasmx_index file, reopen it through MappedIndex, and compare the
+  // mmap cold start against rebuilding from scratch — the tracked
+  // number behind `genasmx_map --index=`. The loaded arrays must match
+  // the in-memory index verbatim (the byte-identical-PAF substrate).
+  const std::string index_path = "bench_pipeline.tmp.gxi";
+  util::Timer t_iwrite;
+  mapper::writeIndexFile(index_path, serial_index, bench_ref);
+  const double index_write_seconds = t_iwrite.seconds();
+  util::Timer t_iload;
+  const mapper::MappedIndex mapped(index_path);
+  const double index_load_seconds = t_iload.seconds();
+  const std::size_t index_file_bytes = mapped.fileBytes();
+  const mapper::IndexView& mv = mapped.view();
+  bool same = mv.size() == serial_index.size() &&
+              mv.k() == serial_index.k() && mv.w() == serial_index.w() &&
+              mapped.reference().size() == bench_ref.size();
+  for (std::size_t i = 0; same && i < mv.size(); ++i) {
+    same = mv.keysData()[i] == serial_index.keys()[i] &&
+           mv.valuesData()[i] == serial_index.values()[i];
+  }
+  std::remove(index_path.c_str());  // the mapping outlives the unlink
+  if (!same) {
+    std::fprintf(stderr, "mmap'd index diverged from the in-memory build\n");
+    return 1;
+  }
+  const double index_load_speedup =
+      index_load_seconds > 0 ? index_serial_seconds / index_load_seconds : 0;
+  std::printf("index on disk (%zu bytes): write %.3fs, verified mmap load "
+              "%.4fs vs %.3fs rebuild (%.0fx)\n",
+              index_file_bytes, index_write_seconds, index_load_seconds,
+              index_serial_seconds, index_load_speedup);
+
   // --- pipeline flows.
   const FlowTiming full = timeFlow(w.genome, reads, true, false);
   const FlowTiming single = timeFlow(w.genome, reads, false, false);
@@ -447,6 +482,13 @@ int runTracked(bench::WorkloadConfig cfg) {
         .num("parallel_seconds", sc_parallel_seconds)
         .num("pool_threads", static_cast<std::uint64_t>(index_pool.size()))
         .num("speedup_parallel_vs_serial", sc_speedup);
+    bench::JsonObject index_load;
+    index_load
+        .num("file_bytes", static_cast<std::uint64_t>(index_file_bytes))
+        .num("write_seconds", index_write_seconds)
+        .num("load_seconds", index_load_seconds)
+        .num("build_seconds", index_serial_seconds)
+        .num("speedup_load_vs_build", index_load_speedup);
     bench::JsonObject distance_kernel;
     distance_kernel.num("windows", static_cast<std::uint64_t>(dwin.size()))
         .num("window_bp", 64)
@@ -495,6 +537,7 @@ int runTracked(bench::WorkloadConfig cfg) {
         .obj("align_kernel", align_kernel)
         .obj("index_build", index_build)
         .obj("index_build_single_contig", index_build_single_contig)
+        .obj("index_load", index_load)
         .obj("pipeline_full", flow(full))
         .obj("pipeline_primary_single_phase", flow(single))
         .obj("pipeline_primary_two_phase", flow(two))

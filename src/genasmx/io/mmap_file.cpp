@@ -1,0 +1,104 @@
+#include "genasmx/io/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GENASMX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace gx::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("MappedFile: cannot " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile f;
+#if GENASMX_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("stat", path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    // MAP_PRIVATE on a read-only mapping: pages stay shared with the
+    // page cache (no copy happens without a write), so N mapping
+    // processes reference one physical copy of the index.
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail("mmap", path);
+    }
+    f.data_ = static_cast<const std::byte*>(addr);
+    f.mapped_ = true;
+  }
+  ::close(fd);  // the mapping keeps its own reference
+  f.size_ = size;
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("MappedFile: cannot open '" + path + "'");
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  f.owned_.resize(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(f.owned_.data()), size)) {
+    throw std::runtime_error("MappedFile: cannot read '" + path + "'");
+  }
+  f.data_ = f.owned_.data();
+  f.size_ = f.owned_.size();
+#endif
+  f.open_ = true;
+  return f;
+}
+
+void MappedFile::adviseWillNeed() const noexcept {
+#if GENASMX_HAVE_MMAP
+  if (mapped_ && size_ > 0) {
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_WILLNEED);
+  }
+#endif
+}
+
+void MappedFile::adviseRandom() const noexcept {
+#if GENASMX_HAVE_MMAP
+  if (mapped_ && size_ > 0) {
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_RANDOM);
+  }
+#endif
+}
+
+void MappedFile::reset() noexcept {
+#if GENASMX_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+  mapped_ = false;
+  owned_.clear();
+}
+
+}  // namespace gx::io

@@ -1,0 +1,63 @@
+#pragma once
+// MappedFile — read-only memory mapping of a whole file, the zero-copy
+// substrate under MappedIndex (shasta's MemoryMapped idiom: flat POD
+// sections reopened read-only, with N processes sharing one physical
+// copy through the page cache). On POSIX this is open+mmap+madvise; on
+// other platforms it degrades to reading the file into an owned buffer,
+// so callers never see the difference beyond cold-start cost.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gx::io {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+  ~MappedFile() { reset(); }
+
+  /// Map `path` read-only. Throws std::runtime_error (with errno detail)
+  /// if the file cannot be opened, stat'ed, or mapped. An empty file
+  /// maps to an empty (but open) MappedFile.
+  [[nodiscard]] static MappedFile open(const std::string& path);
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool isOpen() const noexcept { return open_; }
+
+  /// Hint the kernel the whole mapping will be read soon (prefetch).
+  /// Best-effort: a no-op where madvise is unavailable.
+  void adviseWillNeed() const noexcept;
+  /// Hint random access (index lookups binary-search the key section).
+  void adviseRandom() const noexcept;
+
+ private:
+  void reset() noexcept;
+  void swap(MappedFile& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(open_, other.open_);
+    std::swap(mapped_, other.mapped_);
+    owned_.swap(other.owned_);
+  }
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool open_ = false;
+  bool mapped_ = false;            ///< true: data_ came from mmap
+  std::vector<std::byte> owned_;   ///< non-POSIX fallback buffer
+};
+
+}  // namespace gx::io

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "genasmx/mapper/index_view.hpp"
 #include "genasmx/mapper/minimizer.hpp"
 #include "genasmx/util/thread_pool.hpp"
 
@@ -75,6 +76,7 @@ void MinimizerIndex::buildShards(const std::vector<Shard>& shards,
                                  const refmodel::Reference* ref_for_stats) {
   k_ = k;
   w_ = w;
+  max_occ_ = max_occ;
   keys_.clear();
   values_.clear();
   per_contig_kept_.assign(contig_count > 0 ? contig_count : 1, 0);
@@ -186,6 +188,11 @@ std::vector<IndexHit> MinimizerIndex::lookup(std::uint64_t key) const {
                             (values_[i] & 1) != 0});
   }
   return hits;
+}
+
+IndexView MinimizerIndex::view(const refmodel::Reference& ref) const {
+  return IndexView(&ref, keys_.data(), values_.data(), keys_.size(),
+                   per_contig_kept_.data(), k_, w_, max_occ_);
 }
 
 }  // namespace gx::mapper

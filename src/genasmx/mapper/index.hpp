@@ -25,6 +25,8 @@ class ThreadPool;
 
 namespace gx::mapper {
 
+class IndexView;
+
 /// Packed index entry value: position << 1 | strand.
 struct IndexHit {
   std::uint32_t pos;  ///< global (contig-table) coordinate
@@ -61,26 +63,43 @@ class MinimizerIndex {
 
   [[nodiscard]] int k() const noexcept { return k_; }
   [[nodiscard]] int w() const noexcept { return w_; }
+  [[nodiscard]] int maxOcc() const noexcept { return max_occ_; }
   [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
   [[nodiscard]] std::size_t distinctKeys() const noexcept;
 
   /// Kept (post-cap) minimizers per contig, index-aligned with the
   /// Reference's contig table. One entry for the flat-genome build.
-  [[nodiscard]] const std::vector<std::size_t>& perContigKept()
+  /// uint64 rather than size_t: these counts are serialized verbatim
+  /// into the on-disk contig table (see index_io.hpp).
+  [[nodiscard]] const std::vector<std::uint64_t>& perContigKept()
       const noexcept {
     return per_contig_kept_;
+  }
+
+  /// The raw sorted sections, shared with IndexView and the on-disk
+  /// writer.
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const noexcept {
+    return keys_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const noexcept {
+    return values_;
   }
 
   /// All reference hits of `key` (empty if unknown or masked), in
   /// ascending global position order.
   [[nodiscard]] std::vector<IndexHit> lookup(std::uint64_t key) const;
 
+  /// The non-owning query surface over this index and the reference it
+  /// was built from. `ref` and this index must outlive the view.
+  [[nodiscard]] IndexView view(const refmodel::Reference& ref) const;
+
   /// Bit-identical comparison over the full sorted arrays — the build-
   /// determinism contract (parallel == serial) is asserted with this.
   friend bool operator==(const MinimizerIndex& a,
                          const MinimizerIndex& b) noexcept {
-    return a.k_ == b.k_ && a.w_ == b.w_ && a.keys_ == b.keys_ &&
-           a.values_ == b.values_ && a.per_contig_kept_ == b.per_contig_kept_;
+    return a.k_ == b.k_ && a.w_ == b.w_ && a.max_occ_ == b.max_occ_ &&
+           a.keys_ == b.keys_ && a.values_ == b.values_ &&
+           a.per_contig_kept_ == b.per_contig_kept_;
   }
 
  private:
@@ -96,9 +115,10 @@ class MinimizerIndex {
 
   int k_ = 0;
   int w_ = 0;
+  int max_occ_ = 0;
   std::vector<std::uint64_t> keys_;    ///< sorted
   std::vector<std::uint64_t> values_;  ///< pos << 1 | strand, same order
-  std::vector<std::size_t> per_contig_kept_;
+  std::vector<std::uint64_t> per_contig_kept_;
 };
 
 }  // namespace gx::mapper

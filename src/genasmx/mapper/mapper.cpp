@@ -1,6 +1,7 @@
 #include "genasmx/mapper/mapper.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "genasmx/common/sequence.hpp"
 #include "genasmx/mapper/minimizer.hpp"
@@ -9,18 +10,35 @@ namespace gx::mapper {
 
 Mapper::Mapper(refmodel::Reference ref, MapperConfig cfg,
                util::ThreadPool* index_pool)
-    : ref_(std::move(ref)), cfg_(cfg) {
+    : cfg_(cfg) {
   cfg_.chain.kmer = cfg_.k;
-  index_.build(ref_, cfg_.k, cfg_.w, cfg_.max_occ, index_pool);
+  auto owned = std::make_unique<Owned>();
+  owned->ref = std::move(ref);
+  owned->index.build(owned->ref, cfg_.k, cfg_.w, cfg_.max_occ, index_pool);
+  view_ = owned->index.view(owned->ref);
+  owned_ = std::move(owned);
 }
 
 Mapper::Mapper(std::string genome, MapperConfig cfg)
     : Mapper(refmodel::Reference("ref", std::move(genome)), cfg) {}
 
+Mapper::Mapper(IndexView view, MapperConfig cfg) : cfg_(cfg), view_(view) {
+  if (!view_.valid()) {
+    throw std::invalid_argument("Mapper: invalid IndexView");
+  }
+  // Seeding must extract read minimizers with the same k/w the index was
+  // built with, and the occurrence cap is baked into the stored arrays.
+  cfg_.k = view_.k();
+  cfg_.w = view_.w();
+  cfg_.max_occ = view_.maxOcc();
+  cfg_.chain.kmer = cfg_.k;
+}
+
 std::vector<Candidate> Mapper::map(std::string_view read) const {
   std::vector<Candidate> out;
   const auto read_mins = extractMinimizers(read, cfg_.k, cfg_.w);
   if (read_mins.empty()) return out;
+  const refmodel::Reference& ref = reference();
 
   // Split anchors by relative strand. For minus-strand anchors, flip the
   // read coordinate so chaining sees a co-linear picture. Anchors carry
@@ -28,8 +46,8 @@ std::vector<Candidate> Mapper::map(std::string_view read) const {
   std::vector<Anchor> fwd, rev;
   const std::uint32_t rl = static_cast<std::uint32_t>(read.size());
   for (const auto& m : read_mins) {
-    for (const auto& hit : index_.lookup(m.key)) {
-      const std::uint32_t contig = ref_.contigOf(hit.pos);
+    for (const auto& hit : view_.lookup(m.key)) {
+      const std::uint32_t contig = ref.contigOf(hit.pos);
       const bool opposite = hit.reverse != m.reverse;
       if (!opposite) {
         fwd.push_back(Anchor{m.pos, hit.pos, contig});
@@ -42,7 +60,7 @@ std::vector<Candidate> Mapper::map(std::string_view read) const {
 
   auto emit = [&](std::vector<Anchor> anchors, bool reverse) {
     for (const Chain& c : chainAnchors(std::move(anchors), cfg_.chain)) {
-      const refmodel::Contig& contig = ref_.contig(c.contig);
+      const refmodel::Contig& contig = ref.contig(c.contig);
       Candidate cand;
       cand.contig = c.contig;
       cand.reverse = reverse;

@@ -9,15 +9,23 @@
 // Candidates are contig-local — they carry a contig id plus [begin, end)
 // offsets within that contig, and their windows are clamped to the
 // contig's bounds so no candidate ever spans a contig boundary.
+//
+// Index source: the Mapper consumes an IndexView — it never asks where
+// the sorted key/value arrays live. Build-and-own (the Reference/
+// MapperConfig ctors construct a MinimizerIndex internally) and serve-
+// from-disk (construct from MappedIndex::view()) run the same seeding
+// code on the same arrays, which is what makes their PAF byte-identical.
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "genasmx/mapper/chain.hpp"
 #include "genasmx/mapper/index.hpp"
+#include "genasmx/mapper/index_view.hpp"
 #include "genasmx/refmodel/reference.hpp"
 
 namespace gx::util {
@@ -56,37 +64,53 @@ struct Candidate {
 
 class Mapper {
  public:
-  /// Index `ref`. A non-null `index_pool` parallelizes the index build
-  /// per contig (result identical to the serial build).
+  /// Index `ref` and own the result. A non-null `index_pool` parallelizes
+  /// the index build per contig (result identical to the serial build).
   explicit Mapper(refmodel::Reference ref, MapperConfig cfg = {},
                   util::ThreadPool* index_pool = nullptr);
 
   /// Flat-genome convenience: one contig named "ref".
   explicit Mapper(std::string genome, MapperConfig cfg = {});
 
+  /// Seed/chain against an externally owned index (e.g. a MappedIndex).
+  /// The view's backing storage — and the Reference it points at — must
+  /// outlive the Mapper. k, w and max_occ are taken from the view (they
+  /// are properties of the index build, not free knobs); the rest of
+  /// `cfg` (chaining, margin) applies as usual.
+  explicit Mapper(IndexView view, MapperConfig cfg = {});
+
   [[nodiscard]] const refmodel::Reference& reference() const noexcept {
-    return ref_;
+    return view_.reference();
   }
   /// The concatenated backing buffer (global coordinate space).
-  [[nodiscard]] const std::string& genome() const noexcept {
-    return ref_.backing();
+  [[nodiscard]] std::string_view genome() const noexcept {
+    return reference().view();
   }
   [[nodiscard]] const MapperConfig& config() const noexcept { return cfg_; }
-  [[nodiscard]] const MinimizerIndex& index() const noexcept { return index_; }
+  /// The query surface of whatever index this Mapper seeds from.
+  [[nodiscard]] const IndexView& index() const noexcept { return view_; }
 
   /// All candidate locations for `read`, best chain first.
   [[nodiscard]] std::vector<Candidate> map(std::string_view read) const;
 
   /// The reference text of a candidate window.
   [[nodiscard]] std::string_view candidateText(const Candidate& c) const {
-    return ref_.contigView(c.contig).substr(c.ref_begin,
-                                            c.ref_end - c.ref_begin);
+    return reference().contigView(c.contig).substr(c.ref_begin,
+                                                   c.ref_end - c.ref_begin);
   }
 
  private:
-  refmodel::Reference ref_;
+  /// Build-and-own storage. Behind a unique_ptr so the Mapper stays
+  /// movable while view_'s pointers into it remain valid (the arrays
+  /// don't move when the Mapper does).
+  struct Owned {
+    refmodel::Reference ref;
+    MinimizerIndex index;
+  };
+
+  std::unique_ptr<const Owned> owned_;  ///< null when viewing external storage
   MapperConfig cfg_;
-  MinimizerIndex index_;
+  IndexView view_;
 };
 
 /// A ready-to-align pair: reference window text plus the read oriented to

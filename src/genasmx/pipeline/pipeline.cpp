@@ -171,6 +171,11 @@ MappingPipeline::MappingPipeline(refmodel::Reference ref, PipelineConfig cfg)
       mapper_(buildMapperTimed(std::move(ref), cfg_.mapper, &engine_.pool(),
                                times_.index_build_s)) {}
 
+MappingPipeline::MappingPipeline(mapper::IndexView index, PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      engine_(cfg_.engine),
+      mapper_(index, cfg_.mapper) {}
+
 MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
                                  PipelineConfig cfg)
     : MappingPipeline(

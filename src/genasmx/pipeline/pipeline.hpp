@@ -6,7 +6,9 @@
 // backend), MAPQ estimation from best-vs-second-best alignment quality,
 // and PAF emission with cg:Z: CIGARs.
 //
-// Layer stack: io -> pipeline -> mapper + engine -> solvers. The
+// Layer stack: io -> pipeline -> mapper (over an IndexView) + engine ->
+// solvers. The index behind the view may be built in memory or mmap'd
+// from a genasmx_index file; both produce byte-identical PAF. The
 // pipeline owns the candidate→read fan-out: it flattens every candidate
 // of every read in a batch into one engine batch (reference windows are
 // passed as views into the genome, never copied), then folds the results
@@ -95,15 +97,31 @@ struct StageTimes {
 
 class MappingPipeline {
  public:
-  /// Indexes `ref` (throws what Mapper/AlignmentEngine construction
-  /// throws, e.g. std::invalid_argument for an unknown backend). The
-  /// index build is parallelized per contig on the engine's pool; PAF
-  /// records carry each candidate's contig name, length, and contig-
-  /// local coordinates.
+  /// Indexes `ref` and owns the result (throws what Mapper/
+  /// AlignmentEngine construction throws, e.g. std::invalid_argument for
+  /// an unknown backend). The index build is parallelized per contig on
+  /// the engine's pool; PAF records carry each candidate's contig name,
+  /// length, and contig-local coordinates.
   explicit MappingPipeline(refmodel::Reference ref, PipelineConfig cfg = {});
+
+  /// Map against an externally owned index (e.g. a MappedIndex opened
+  /// from a `genasmx_index` file): no FASTA parse, no index build —
+  /// cfg.mapper's k/w/max_occ are taken from the view. The view's owner
+  /// must outlive the pipeline. index_build_s stays 0 on this path.
+  explicit MappingPipeline(mapper::IndexView index, PipelineConfig cfg = {});
+
+  /// Named constructor for the serve-from-disk path; reads as
+  /// `MappingPipeline::open(mapped.view(), cfg)` at call sites.
+  [[nodiscard]] static MappingPipeline open(mapper::IndexView index,
+                                            PipelineConfig cfg = {}) {
+    return MappingPipeline(index, std::move(cfg));
+  }
 
   /// Flat-genome convenience: a single contig named `target_name` (the
   /// PAF target-name column).
+  [[deprecated(
+      "construct a refmodel::Reference (or open an index file) instead; "
+      "the flat-string path predates the multi-contig model")]]
   MappingPipeline(std::string target_name, std::string genome,
                   PipelineConfig cfg = {});
 

@@ -19,6 +19,10 @@ Reference::Reference(std::string name, std::string seq) {
 }
 
 void Reference::addContig(std::string name, std::string_view seq) {
+  if (externallyBacked()) {
+    throw std::logic_error(
+        "Reference::addContig: external backing is immutable");
+  }
   if (seq.empty()) {
     throw std::invalid_argument("Reference: empty contig '" + name + "'");
   }
@@ -30,8 +34,41 @@ void Reference::addContig(std::string name, std::string_view seq) {
   contigs_.push_back(std::move(c));
 }
 
+Reference Reference::fromExternal(std::string_view backing,
+                                  std::vector<Contig> contigs) {
+  if (backing.empty() || contigs.empty()) {
+    throw std::invalid_argument(
+        "Reference::fromExternal: empty backing or contig table");
+  }
+  std::size_t expect = 0;
+  for (const Contig& c : contigs) {
+    if (c.length == 0) {
+      throw std::invalid_argument("Reference::fromExternal: empty contig '" +
+                                  c.name + "'");
+    }
+    if (c.offset != expect) {
+      throw std::invalid_argument(
+          "Reference::fromExternal: contig '" + c.name +
+          "' does not tile the backing buffer (offset " +
+          std::to_string(c.offset) + ", expected " + std::to_string(expect) +
+          ")");
+    }
+    expect += c.length;
+  }
+  if (expect != backing.size()) {
+    throw std::invalid_argument(
+        "Reference::fromExternal: contig lengths sum to " +
+        std::to_string(expect) + " but the backing buffer holds " +
+        std::to_string(backing.size()) + " bytes");
+  }
+  Reference ref;
+  ref.ext_ = backing;
+  ref.contigs_ = std::move(contigs);
+  return ref;
+}
+
 ContigPos Reference::globalToLocal(std::size_t global) const {
-  if (global >= seq_.size()) {
+  if (global >= size()) {
     throw std::out_of_range("Reference::globalToLocal: position past end");
   }
   // Last contig whose offset is <= global: upper_bound on offsets, step

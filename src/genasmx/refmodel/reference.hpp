@@ -6,6 +6,13 @@
 // coordinate space (one index, one anchor sort), while everything the
 // user sees — PAF target names, lengths, coordinates — is contig-local.
 // globalToLocal()/localToGlobal() convert between the two in O(log C).
+//
+// The backing buffer comes in two flavours behind the same API: owned
+// (addContig copies into an internal string — the build-from-FASTA path)
+// and external (fromExternal adopts a caller-managed buffer, e.g. the
+// sequence section of a mmap'd index file, so a genome-scale reference
+// costs no copy at load). Every accessor reads through view(), so the
+// two flavours are indistinguishable downstream.
 
 #include <cstddef>
 #include <cstdint>
@@ -36,11 +43,26 @@ class Reference {
   /// Single-contig convenience (the pre-multi-contig flat-genome shape).
   Reference(std::string name, std::string seq);
 
-  /// Append a contig. Throws std::invalid_argument for an empty sequence
-  /// (a zero-length contig would alias its successor's global offset).
+  /// Adopt an external backing buffer (e.g. the sequence section of a
+  /// mmap'd index file) without copying it. `contigs` must tile
+  /// `backing` exactly: offsets strictly increasing from 0, each contig
+  /// non-empty, lengths summing to backing.size(). Throws
+  /// std::invalid_argument otherwise. The caller keeps `backing` alive
+  /// for the Reference's lifetime; addContig on the result throws.
+  [[nodiscard]] static Reference fromExternal(std::string_view backing,
+                                              std::vector<Contig> contigs);
+
+  /// Append a contig (owned mode only). Throws std::invalid_argument for
+  /// an empty sequence (a zero-length contig would alias its successor's
+  /// global offset) and std::logic_error on an external-backed Reference.
   void addContig(std::string name, std::string_view seq);
 
-  [[nodiscard]] std::size_t size() const noexcept { return seq_.size(); }
+  /// True when the backing buffer is caller-managed (fromExternal).
+  [[nodiscard]] bool externallyBacked() const noexcept {
+    return ext_.data() != nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return view().size(); }
   [[nodiscard]] bool empty() const noexcept { return contigs_.empty(); }
   [[nodiscard]] std::uint32_t contigCount() const noexcept {
     return static_cast<std::uint32_t>(contigs_.size());
@@ -56,13 +78,14 @@ class Reference {
   }
 
   /// The whole backing buffer (contigs concatenated, global coords).
-  [[nodiscard]] std::string_view view() const noexcept { return seq_; }
-  [[nodiscard]] const std::string& backing() const noexcept { return seq_; }
+  [[nodiscard]] std::string_view view() const noexcept {
+    return ext_.data() != nullptr ? ext_ : std::string_view(seq_);
+  }
 
   /// The text of one contig (a view into the backing buffer).
   [[nodiscard]] std::string_view contigView(std::uint32_t id) const {
     const Contig& c = contigs_.at(id);
-    return std::string_view(seq_).substr(c.offset, c.length);
+    return view().substr(c.offset, c.length);
   }
 
   /// Resolve a global position to (contig, local offset). O(log C).
@@ -81,7 +104,8 @@ class Reference {
                                           std::size_t local) const;
 
  private:
-  std::string seq_;             ///< all contigs, concatenated
+  std::string seq_;              ///< owned mode: all contigs, concatenated
+  std::string_view ext_;         ///< external mode: caller-managed buffer
   std::vector<Contig> contigs_;  ///< offsets strictly increasing
 };
 

@@ -59,7 +59,8 @@ TEST(MappingPipeline, RoundTripRecoversTrueOrigins) {
   auto rcfg = readsim::ReadSimConfig::pacbioClr(60, 2'500);
   rcfg.seed = 3;
   const auto reads = readsim::simulateReads(genome, rcfg);
-  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)),
+                       PipelineConfig{});
   const auto records = pipe.mapBatch(toFastx(reads));
   const auto primary = primaries(records);
 
@@ -92,7 +93,7 @@ TEST(MappingPipeline, PafIsByteIdenticalAcrossThreadCounts) {
     PipelineConfig cfg;
     cfg.engine.threads = threads;
     cfg.batch_reads = 7;  // several batches, boundaries thread-independent
-    MappingPipeline pipe("ref", std::string(genome), cfg);
+    MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)), cfg);
     std::istringstream in(fq.str());
     std::ostringstream out;
     io::PafWriter writer(out);
@@ -111,7 +112,8 @@ TEST(MappingPipeline, ReverseStrandReadsMapBackCorrectly) {
   auto rcfg = readsim::ReadSimConfig::pacbioClr(30, 2'000);
   rcfg.seed = 17;  // both_strands defaults to true
   const auto reads = readsim::simulateReads(genome, rcfg);
-  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)),
+                       PipelineConfig{});
   const auto primary = primaries(pipe.mapBatch(toFastx(reads)));
 
   int reverse_reads = 0, reverse_recovered = 0;
@@ -134,7 +136,8 @@ TEST(MappingPipeline, EveryRecordIsWellFormed) {
   const auto genome = testGenome(150'000, 41);
   auto rcfg = readsim::ReadSimConfig::pacbioClr(25, 1'500);
   rcfg.seed = 23;
-  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)),
+                       PipelineConfig{});
   const auto records =
       pipe.mapBatch(toFastx(readsim::simulateReads(genome, rcfg)));
   ASSERT_FALSE(records.empty());
@@ -166,7 +169,7 @@ TEST(MappingPipeline, PrimaryOnlyEmitsAtMostOneRecordPerRead) {
   const auto fastx = toFastx(readsim::simulateReads(genome, rcfg));
   PipelineConfig cfg;
   cfg.emit_secondary = false;
-  MappingPipeline pipe("ref", std::string(genome), cfg);
+  MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)), cfg);
   const auto records = pipe.mapBatch(fastx);
   std::map<std::string, int> per_read;
   for (const auto& rec : records) ++per_read[rec.query_name];
@@ -201,7 +204,7 @@ TEST(MappingPipeline, TwoPhasePafIsByteIdenticalToSinglePhase) {
     cfg.batched_distance = batched;
     cfg.engine.threads = threads;
     cfg.batch_reads = 11;
-    MappingPipeline pipe("ref", std::string(genome), cfg);
+    MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)), cfg);
     std::istringstream in(fq.str());
     std::ostringstream out;
     io::PafWriter writer(out);
@@ -241,7 +244,7 @@ TEST(MappingPipeline, PafIsByteIdenticalAcrossIsaLevels) {
     cfg.emit_secondary = emit_secondary;
     cfg.engine.threads = 2;
     cfg.batch_reads = 9;
-    MappingPipeline pipe("ref", std::string(genome), cfg);
+    MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)), cfg);
     std::istringstream in(fq.str());
     std::ostringstream out;
     io::PafWriter writer(out);
@@ -398,13 +401,15 @@ TEST(MappingPipeline, MultiContigPafByteIdenticalAcrossThreadsAndFlows) {
 TEST(MappingPipeline, UnknownBackendThrows) {
   PipelineConfig cfg;
   cfg.engine.backend = "no-such-backend";
-  EXPECT_THROW(MappingPipeline("ref", testGenome(50'000), cfg),
+  EXPECT_THROW(MappingPipeline(refmodel::Reference("ref", testGenome(50'000)),
+                               cfg),
                std::invalid_argument);
 }
 
 TEST(MappingPipeline, EmptyBatchAndJunkReads) {
   const auto genome = testGenome(100'000, 61);
-  MappingPipeline pipe("ref", std::string(genome), PipelineConfig{});
+  MappingPipeline pipe(refmodel::Reference("ref", std::string(genome)),
+                       PipelineConfig{});
   EXPECT_TRUE(pipe.mapBatch({}).empty());
   // A read with no minimizer hits maps nowhere and emits nothing.
   io::FastxRecord junk;

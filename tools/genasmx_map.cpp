@@ -4,38 +4,48 @@
 // CIGARs. Multi-contig references map per contig (contig-table reference
 // model; PAF target name/length/coordinates are contig-local, never a
 // merged coordinate space), and the index build parallelizes per contig
-// on the worker pool. Output is byte-identical for any --threads value.
+// on the worker pool. Output is byte-identical for any --threads value
+// and for either index source (--ref rebuild vs --index mmap).
 //
-//   genasmx_map <reference.fa> <reads.fa|fq> [options]
+//   genasmx_map --ref <reference.fa> --reads <reads.fa|fq> [options]
+//   genasmx_map --index <ref.gxi>    --reads <reads.fa|fq> [options]
+//   genasmx_map <reference.fa> <reads.fa|fq> [options]        (compat)
 //
 // Options (--opt VALUE and --opt=VALUE are both accepted):
+//   --ref FILE             reference FASTA (parsed + indexed in memory)
+//   --index FILE           prebuilt index from genasmx_index (mmap'd;
+//                          contains the reference — no FASTA needed)
+//   --reads FILE           reads FASTA/FASTQ
+//   --out FILE             write PAF to FILE instead of stdout
+//                          (--paf FILE is an accepted alias)
 //   --backend NAME         alignment backend (default windowed-improved);
 //                          see --list-backends
 //   --threads N            worker threads (0=auto)
 //   --max-candidates N     candidate windows aligned per read (default 4)
 //   --batch N              reads per streaming batch (default 256)
 //   --window W --overlap O window geometry (GenASM backends)
-//   --paf FILE             write PAF to FILE instead of stdout
 //   --primary-only         suppress secondary (mapq 0) records; enables
 //                          the two-phase distance-first fast path
 //   --single-phase         disable the two-phase fast path (A/B testing;
 //                          output is byte-identical either way)
+//   --no-verify            skip the index payload checksum at --index
+//                          load (header checksum is always verified)
 //   --list-backends        print registered backends and exit
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "cli.hpp"
 #include "genasmx/engine/registry.hpp"
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/io/paf.hpp"
+#include "genasmx/mapper/index_io.hpp"
 #include "genasmx/pipeline/pipeline.hpp"
 #include "genasmx/refmodel/reference.hpp"
 #include "genasmx/util/timer.hpp"
@@ -43,9 +53,10 @@
 namespace {
 
 struct Options {
-  std::string reference_path;
+  std::string ref_path;
+  std::string index_path;
   std::string reads_path;
-  std::string paf_path;  ///< empty = stdout
+  std::string out_path;  ///< empty = stdout
   std::string backend = "windowed-improved";
   std::size_t threads = 0;
   std::size_t max_candidates = 4;
@@ -54,81 +65,40 @@ struct Options {
   int overlap = 24;
   bool primary_only = false;
   bool single_phase = false;
+  bool no_verify = false;
   bool list_backends = false;
 };
 
-/// Strict non-negative integer parse: rejects signs, trailing junk, and
-/// out-of-range values, so typos fail at the usage line instead of deep
-/// inside the pipeline.
-bool parseCount(const char* s, std::size_t& out) {
-  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0') return false;
-  out = static_cast<std::size_t>(v);
-  return true;
-}
-
-bool parseCount(const char* s, int& out) {
-  std::size_t v = 0;
-  if (!parseCount(s, v) || v > 1'000'000) return false;
-  out = static_cast<int>(v);
-  return true;
-}
-
 bool parseArgs(int argc, char** argv, Options& opt) {
-  std::size_t positional = 0;
-  bool missing_value = false;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    // Accept "--opt VALUE" (next argv, unless it is another option) and
-    // "--opt=VALUE". A matched key with no usable value is an error.
-    auto value_of = [&](const char* key) -> const char* {
-      const std::size_t n = std::strlen(key);
-      if (arg.compare(0, n, key) != 0) return nullptr;
-      if (arg.size() > n && arg[n] == '=') return arg.c_str() + n + 1;
-      if (arg.size() == n) {
-        if (i + 1 < argc && argv[i + 1][0] != '-') return argv[++i];
-        std::fprintf(stderr, "option %s requires a value\n", key);
-        missing_value = true;
-      }
-      return nullptr;
-    };
-    auto bad_value = [&](const char* key, const char* v) {
-      std::fprintf(stderr, "option %s: invalid value '%s'\n", key, v);
-      return false;
-    };
-    if (const char* v = value_of("--backend")) opt.backend = v;
-    else if (const char* v = value_of("--threads")) {
-      if (!parseCount(v, opt.threads)) return bad_value("--threads", v);
-    } else if (const char* v = value_of("--max-candidates")) {
-      if (!parseCount(v, opt.max_candidates)) return bad_value("--max-candidates", v);
-    } else if (const char* v = value_of("--batch")) {
-      if (!parseCount(v, opt.batch)) return bad_value("--batch", v);
-    } else if (const char* v = value_of("--window")) {
-      if (!parseCount(v, opt.window)) return bad_value("--window", v);
-    } else if (const char* v = value_of("--overlap")) {
-      if (!parseCount(v, opt.overlap)) return bad_value("--overlap", v);
-    } else if (const char* v = value_of("--paf")) opt.paf_path = v;
-    else if (missing_value) return false;
-    else if (arg == "--primary-only") opt.primary_only = true;
-    else if (arg == "--single-phase") opt.single_phase = true;
-    else if (arg == "--list-backends") opt.list_backends = true;
-    else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
-    } else if (positional == 0) {
-      opt.reference_path = arg;
-      ++positional;
-    } else if (positional == 1) {
-      opt.reads_path = arg;
-      ++positional;
-    } else {
-      return false;
-    }
+  std::string pos_ref, pos_reads;
+  gx::cli::Parser cli;
+  cli.option("--ref", opt.ref_path);
+  cli.option("--index", opt.index_path);
+  cli.option("--reads", opt.reads_path);
+  cli.option("--out", opt.out_path);
+  cli.option("--paf", opt.out_path);  // pre---out alias
+  cli.option("--backend", opt.backend);
+  cli.option("--threads", opt.threads);
+  cli.option("--max-candidates", opt.max_candidates);
+  cli.option("--batch", opt.batch);
+  cli.option("--window", opt.window);
+  cli.option("--overlap", opt.overlap);
+  cli.flag("--primary-only", opt.primary_only);
+  cli.flag("--single-phase", opt.single_phase);
+  cli.flag("--no-verify", opt.no_verify);
+  cli.flag("--list-backends", opt.list_backends);
+  cli.positional(pos_ref);    // compat: genasmx_map ref.fa reads.fq
+  cli.positional(pos_reads);
+  if (!cli.parse(argc, argv)) return false;
+  if (opt.ref_path.empty() && !pos_ref.empty()) opt.ref_path = pos_ref;
+  if (opt.reads_path.empty() && !pos_reads.empty()) opt.reads_path = pos_reads;
+  if (opt.list_backends) return true;
+  if (!opt.ref_path.empty() && !opt.index_path.empty()) {
+    std::fprintf(stderr, "--ref and --index are mutually exclusive\n");
+    return false;
   }
-  return opt.list_backends || positional == 2;
+  return (!opt.ref_path.empty() || !opt.index_path.empty()) &&
+         !opt.reads_path.empty();
 }
 
 }  // namespace
@@ -139,10 +109,11 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, opt)) {
     std::fprintf(
         stderr,
-        "usage: genasmx_map <reference.fa> <reads.fa|fq> [--backend NAME] "
-        "[--threads N] [--max-candidates N] [--batch N] [--window W] "
-        "[--overlap O] [--paf FILE] [--primary-only] [--single-phase] "
-        "[--list-backends]\n");
+        "usage: genasmx_map (--ref <reference.fa> | --index <ref.gxi>) "
+        "--reads <reads.fa|fq> [--out FILE] [--backend NAME] [--threads N] "
+        "[--max-candidates N] [--batch N] [--window W] [--overlap O] "
+        "[--primary-only] [--single-phase] [--no-verify] [--list-backends]\n"
+        "       genasmx_map <reference.fa> <reads.fa|fq> [options]\n");
     return 2;
   }
   auto& registry = engine::AlignerRegistry::instance();
@@ -159,31 +130,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  util::Timer timer;
-  std::vector<io::FastxRecord> ref_records;
-  try {
-    ref_records = io::readFastxFile(opt.reference_path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  if (ref_records.empty()) {
-    std::fprintf(stderr, "error: empty reference %s\n",
-                 opt.reference_path.c_str());
-    return 1;
-  }
-  refmodel::Reference reference;
-  try {
-    reference = refmodel::referenceFromFastx(ref_records);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  ref_records.clear();
-  ref_records.shrink_to_fit();
-  std::fprintf(stderr, "[%.2fs] reference %zu bp (%u contigs)\n",
-               timer.seconds(), reference.size(), reference.contigCount());
-
   pipeline::PipelineConfig cfg;
   cfg.engine.backend = opt.backend;
   cfg.engine.threads = opt.threads;
@@ -195,26 +141,66 @@ int main(int argc, char** argv) {
   cfg.emit_secondary = !opt.primary_only;
   cfg.two_phase = !opt.single_phase;
 
+  util::Timer timer;
+  std::unique_ptr<mapper::MappedIndex> mapped;  // keeps --index storage alive
   std::unique_ptr<pipeline::MappingPipeline> pipe;
-  try {
-    pipe = std::make_unique<pipeline::MappingPipeline>(std::move(reference),
-                                                       cfg);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+  if (!opt.index_path.empty()) {
+    // Serve-from-disk path: the index file carries the reference, so the
+    // pipeline opens with zero FASTA parsing and zero index building.
+    try {
+      mapper::MappedIndex::Options mopt;
+      mopt.verify_payload = !opt.no_verify;
+      mapped = std::make_unique<mapper::MappedIndex>(opt.index_path, mopt);
+      pipe = std::make_unique<pipeline::MappingPipeline>(mapped->view(), cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "[%.2fs] index %s mapped (%zu bytes)\n",
+                 timer.seconds(), opt.index_path.c_str(),
+                 mapped->fileBytes());
+  } else {
+    std::vector<io::FastxRecord> ref_records;
+    refmodel::Reference reference;
+    try {
+      ref_records = io::readFastxFile(opt.ref_path);
+      if (ref_records.empty()) {
+        std::fprintf(stderr, "error: empty reference %s\n",
+                     opt.ref_path.c_str());
+        return 1;
+      }
+      reference = refmodel::referenceFromFastx(ref_records);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    ref_records.clear();
+    ref_records.shrink_to_fit();
+    std::fprintf(stderr, "[%.2fs] reference %zu bp (%u contigs)\n",
+                 timer.seconds(), reference.size(), reference.contigCount());
+    try {
+      pipe = std::make_unique<pipeline::MappingPipeline>(std::move(reference),
+                                                         cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
+
   const auto& ref = pipe->mapper().reference();
-  const auto& per_contig = pipe->mapper().index().perContigKept();
+  const mapper::IndexView& index = pipe->mapper().index();
   std::fprintf(stderr,
-               "[%.2fs] index built (%zu minimizers over %u contigs, "
-               "parallel per-contig build), %s backend, %zu threads\n",
-               timer.seconds(), pipe->mapper().index().size(),
-               ref.contigCount(), opt.backend.c_str(),
-               pipe->engine().threads());
+               "[%.2fs] index ready (%zu minimizers over %u contigs, %s), "
+               "%s backend, %zu threads\n",
+               timer.seconds(), index.size(), ref.contigCount(),
+               opt.index_path.empty() ? "parallel per-contig build"
+                                      : "served from disk",
+               opt.backend.c_str(), pipe->engine().threads());
   const std::uint32_t shown = std::min(ref.contigCount(), 16u);
   for (std::uint32_t c = 0; c < shown; ++c) {
     std::fprintf(stderr, "  contig %-20s %10zu bp  %8zu minimizers\n",
-                 ref.name(c).c_str(), ref.contig(c).length, per_contig[c]);
+                 ref.name(c).c_str(), ref.contig(c).length,
+                 static_cast<std::size_t>(index.perContigKept(c)));
   }
   if (shown < ref.contigCount()) {
     std::fprintf(stderr, "  ... and %u more contigs\n",
@@ -227,14 +213,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::ofstream paf_file;
-  if (!opt.paf_path.empty()) {
-    paf_file.open(opt.paf_path);
+  if (!opt.out_path.empty()) {
+    paf_file.open(opt.out_path);
     if (!paf_file) {
-      std::fprintf(stderr, "error: cannot open %s\n", opt.paf_path.c_str());
+      std::fprintf(stderr, "error: cannot open %s\n", opt.out_path.c_str());
       return 1;
     }
   }
-  std::ostream& paf_out = opt.paf_path.empty() ? std::cout : paf_file;
+  std::ostream& paf_out = opt.out_path.empty() ? std::cout : paf_file;
 
   pipeline::PipelineStats stats;
   util::Timer map_timer;

@@ -1,10 +1,13 @@
 // genasmx_simulate — generate a synthetic genome and PBSIM2-class reads
 // (the paper's workload) as FASTA/FASTQ files.
 //
-//   genasmx_simulate <out_prefix> [--genome=BP] [--contigs=N] [--reads=N]
-//                    [--length=BP] [--error=FRAC] [--illumina] [--seed=S]
+//   genasmx_simulate --out <out_prefix> [--genome=BP] [--contigs=N]
+//                    [--reads=N] [--length=BP] [--error=FRAC] [--illumina]
+//                    [--seed=S]
+//   genasmx_simulate <out_prefix> [options]                  (compat)
 //
-// Writes <out_prefix>.fa (genome) and <out_prefix>.reads.fq.
+// Options accept both --opt=VALUE and --opt VALUE (shared tools/cli.hpp
+// dialect). Writes <out_prefix>.fa (genome) and <out_prefix>.reads.fq.
 //
 // --contigs=N > 1 emits a multi-contig reference (contigs chr1..chrN of
 // staggered lengths summing to --genome) and samples read origins across
@@ -15,11 +18,10 @@
 // record, plain read_<i> names, origin in the comment only).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/readsim/genome.hpp"
 #include "genasmx/readsim/read_simulator.hpp"
@@ -27,39 +29,35 @@
 
 int main(int argc, char** argv) {
   using namespace gx;
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: genasmx_simulate <out_prefix> [--genome=BP] "
-                 "[--contigs=N] [--reads=N] [--length=BP] [--error=FRAC] "
-                 "[--illumina] [--seed=S]\n");
-    return 2;
-  }
-  const std::string prefix = argv[1];
+  std::string prefix;
+  std::string pos_prefix;
   std::size_t genome_len = 1'000'000;
   std::size_t n_contigs = 1;
   std::size_t n_reads = 500;
   std::size_t read_len = 10'000;
   double error = 0.10;
   bool illumina = false;
-  std::uint64_t seed = 42;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto val = [&](const char* key) -> const char* {
-      const std::size_t n = std::strlen(key);
-      return arg.rfind(key, 0) == 0 ? arg.c_str() + n : nullptr;
-    };
-    if (const char* v = val("--genome=")) genome_len = std::strtoull(v, nullptr, 10);
-    else if (const char* v1 = val("--contigs=")) n_contigs = std::strtoull(v1, nullptr, 10);
-    else if (const char* v2 = val("--reads=")) n_reads = std::strtoull(v2, nullptr, 10);
-    else if (const char* v3 = val("--length=")) read_len = std::strtoull(v3, nullptr, 10);
-    else if (const char* v4 = val("--error=")) error = std::strtod(v4, nullptr);
-    else if (const char* v5 = val("--seed=")) seed = std::strtoull(v5, nullptr, 10);
-    else if (arg == "--illumina") illumina = true;
-    else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return 2;
-    }
+  std::size_t seed = 42;
+  cli::Parser parser;
+  parser.option("--out", prefix);
+  parser.option("--genome", genome_len);
+  parser.option("--contigs", n_contigs);
+  parser.option("--reads", n_reads);
+  parser.option("--length", read_len);
+  parser.option("--error", error);
+  parser.option("--seed", seed);
+  parser.flag("--illumina", illumina);
+  parser.positional(pos_prefix);  // compat: genasmx_simulate <out_prefix>
+  if (!parser.parse(argc, argv) ||
+      (prefix.empty() && pos_prefix.empty())) {
+    std::fprintf(stderr,
+                 "usage: genasmx_simulate --out <out_prefix> [--genome=BP] "
+                 "[--contigs=N] [--reads=N] [--length=BP] [--error=FRAC] "
+                 "[--illumina] [--seed=S]\n"
+                 "       genasmx_simulate <out_prefix> [options]\n");
+    return 2;
   }
+  if (prefix.empty()) prefix = pos_prefix;
   if (n_contigs == 0 || genome_len / (n_contigs * (n_contigs + 1) / 2) == 0) {
     std::fprintf(stderr, "error: --genome too small for --contigs=%zu\n",
                  n_contigs);
