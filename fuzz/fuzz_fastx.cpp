@@ -1,0 +1,45 @@
+// libFuzzer harness for the FASTA/FASTQ parser: arbitrary bytes must
+// never crash, hang, or corrupt FastxReader — under kAbort the only
+// escape is a structured common::Error, and under kSkip the reader must
+// resync and terminate on its own. Build with -DGENASMX_FUZZ=ON; on
+// toolchains without libFuzzer the standalone driver replays the
+// committed corpus instead (see fuzz/standalone_main.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "genasmx/common/error.hpp"
+#include "genasmx/io/fastx.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // kAbort: malformed input throws exactly common::Error, nothing else.
+  {
+    std::istringstream in(text);
+    gx::io::FastxReader reader(in);
+    gx::io::FastxRecord rec;
+    try {
+      while (reader.next(rec)) {
+      }
+    } catch (const gx::common::Error&) {
+      // expected for malformed input
+    }
+  }
+
+  // kSkip: malformed records are skipped, never thrown; the loop must
+  // terminate (a resync that fails to advance would hang right here).
+  {
+    std::istringstream in(text);
+    gx::io::FastxPolicy policy;
+    policy.on_bad_record = gx::io::OnBadRecord::kSkip;
+    gx::io::FastxReader reader(in, policy);
+    gx::io::FastxRecord rec;
+    while (reader.next(rec)) {
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// libFuzzer harness for the on-disk index loader: arbitrary bytes fed
+// through MappedFile::fromBytes into the exact MappedIndex validation
+// path that production mmap opens use. Every rejection must be a
+// structured IndexIoError (a common::Error) — no crash, no OOB read
+// (run under ASan), no acceptance of bytes that then fault in view().
+// Build with -DGENASMX_FUZZ=ON.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "genasmx/common/error.hpp"
+#include "genasmx/io/mmap_file.hpp"
+#include "genasmx/mapper/index_io.hpp"
+#include "genasmx/refmodel/reference.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<std::byte> bytes(size);
+  if (size != 0) std::memcpy(bytes.data(), data, size);
+  try {
+    const gx::mapper::MappedIndex idx(
+        gx::io::MappedFile::fromBytes(std::move(bytes)), {}, "fuzz");
+    // Bytes that validate must also serve: walk the accepted view the
+    // way the mapper would.
+    const gx::mapper::IndexView view = idx.view();
+    const gx::refmodel::Reference& ref = view.reference();
+    for (std::uint32_t c = 0; c < ref.contigCount(); ++c) {
+      (void)ref.contig(c).name;
+      (void)view.perContigKept(c);
+    }
+  } catch (const gx::common::Error&) {
+    // expected: malformed images are rejected with a structured error
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Standalone replay driver: runs LLVMFuzzerTestOneInput over the files
+// named on the command line (typically the committed seed corpus), so
+// the fuzz harnesses double as deterministic regression tests on
+// toolchains without libFuzzer (gcc). Exit 0 means every input was
+// processed without a crash; the harnesses assert internally.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++ran;
+  }
+  std::fprintf(stderr, "replayed %d corpus file(s) OK\n", ran);
+  return 0;
+}

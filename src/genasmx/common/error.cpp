@@ -1,0 +1,73 @@
+#include "genasmx/common/error.hpp"
+
+#include <exception>
+
+namespace gx::common {
+
+std::string_view errorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kMalformedInput:
+      return "malformed-input";
+    case ErrorCode::kIoTransient:
+      return "io-transient";
+    case ErrorCode::kIoFatal:
+      return "io-fatal";
+    case ErrorCode::kResourceLimit:
+      return "resource-limit";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string formatError(ErrorCode code, std::string_view message,
+                        const ErrorContext& ctx) {
+  // One line, message first (the part a human acts on), then the
+  // machine-greppable classification and location.
+  std::string out;
+  out.reserve(message.size() + 64);
+  out += message;
+  out += " [";
+  out += errorCodeName(code);
+  out += ']';
+  if (!ctx.path.empty()) {
+    out += " in '";
+    out += ctx.path;
+    out += '\'';
+  }
+  if (!ctx.record.empty()) {
+    out += " record '";
+    out += ctx.record;
+    out += '\'';
+  }
+  if (ctx.line != 0) {
+    out += " line ";
+    out += std::to_string(ctx.line);
+  }
+  if (ctx.byte_offset != ErrorContext::kNoOffset) {
+    out += " byte ";
+    out += std::to_string(ctx.byte_offset);
+  }
+  return out;
+}
+
+Status Status::fromCurrentException() noexcept {
+  try {
+    throw;
+  } catch (const Error& e) {
+    return Status(e.code(), e.what());
+  } catch (const std::bad_alloc& e) {
+    return Status(ErrorCode::kResourceLimit,
+                  std::string("allocation failed: ") + e.what() +
+                      " [resource-limit]");
+  } catch (const std::exception& e) {
+    return Status(ErrorCode::kInternal,
+                  std::string(e.what()) + " [internal]");
+  } catch (...) {
+    return Status(ErrorCode::kInternal, "unknown exception [internal]");
+  }
+}
+
+}  // namespace gx::common

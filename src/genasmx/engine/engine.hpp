@@ -9,7 +9,9 @@
 // myers / ksw / refdp). Consumers hold an engine (or a single Aligner
 // from the registry) and never name concrete solver entry points.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -93,6 +95,12 @@ class AlignmentEngine {
     [[nodiscard]] Aligner* operator->() noexcept { return aligner_.get(); }
     [[nodiscard]] Aligner& operator*() noexcept { return *aligner_; }
 
+    /// Destroy the leased aligner instead of recycling it. Called after
+    /// the aligner threw mid-batch: its scratch state is unknown, and a
+    /// half-written DP buffer returned to the spare pool would poison a
+    /// later, unrelated batch.
+    void poison() noexcept { aligner_.reset(); }
+
    private:
     AlignmentEngine* engine_;
     AlignerPtr aligner_;
@@ -102,6 +110,19 @@ class AlignmentEngine {
   /// that parallelize their own pre/post-processing around alignBatch()
   /// without spinning up a second competing pool.
   [[nodiscard]] util::ThreadPool& pool() noexcept { return pool_; }
+
+  /// Tasks whose alignment failed even in single-task isolation; their
+  /// results[i] slots carry ok=false (alignBatch) or -1 (distanceBatch).
+  /// Cumulative over the engine's lifetime.
+  [[nodiscard]] std::uint64_t taskFailures() const noexcept {
+    return task_failures_.load(std::memory_order_relaxed);
+  }
+  /// Batched chunk calls that threw and were re-run per task. A nonzero
+  /// count with zero taskFailures() means every task recovered on the
+  /// isolation rerun.
+  [[nodiscard]] std::uint64_t batchFaults() const noexcept {
+    return batch_faults_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Check an aligner out of the spare pool (constructing on a miss) and
@@ -114,6 +135,8 @@ class AlignmentEngine {
   util::ThreadPool pool_;
   std::mutex spares_mu_;
   std::vector<AlignerPtr> spares_;
+  std::atomic<std::uint64_t> task_failures_{0};
+  std::atomic<std::uint64_t> batch_faults_{0};
 };
 
 }  // namespace gx::engine

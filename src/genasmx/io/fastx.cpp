@@ -1,8 +1,8 @@
 #include "genasmx/io/fastx.hpp"
 
 #include <fstream>
+#include <iostream>
 #include <sstream>
-#include <stdexcept>
 
 namespace gx::io {
 namespace {
@@ -20,21 +20,75 @@ void splitHeader(std::string_view line, FastxRecord& rec) {
   }
 }
 
+/// Bounded excerpt of an arbitrary input line for diagnostics: never
+/// echo unbounded (or binary) client bytes back into a log line.
+std::string excerpt(std::string_view line) {
+  constexpr std::size_t kMax = 40;
+  std::string out;
+  const std::size_t n = std::min(line.size(), kMax);
+  out.reserve(n + 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = line[i];
+    out += (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  if (line.size() > kMax) out += "...";
+  return out;
+}
+
 }  // namespace
+
+void FastxReader::raise(common::ErrorCode code, const std::string& message,
+                        const std::string& record_name) const {
+  common::ErrorContext ctx;
+  ctx.path = policy_.path;
+  ctx.record = record_name;
+  ctx.line = cur_line_;
+  ctx.byte_offset = cur_off_;
+  throw common::Error(code, message, std::move(ctx));
+}
 
 bool FastxReader::nextLine(std::string& line) {
   if (have_pending_) {
     line = std::move(pending_);
     have_pending_ = false;
+    cur_line_ = pending_line_;
+    cur_off_ = pending_off_;
     return true;
   }
+  if (truncated_ || byte_off_ >= truncate_at_) return false;
+  const std::uint64_t start = byte_off_;
   if (!std::getline(in_, line)) return false;
+  byte_off_ += line.size() + (in_.eof() ? 0 : 1);
+  ++line_no_;
+  cur_line_ = line_no_;
+  cur_off_ = start;
+  if (byte_off_ > truncate_at_) {
+    // Injected truncation lands mid-line: deliver the prefix, then EOF.
+    line.resize(truncate_at_ > start
+                    ? static_cast<std::size_t>(truncate_at_ - start)
+                    : 0);
+    truncated_ = true;
+  }
   if (!line.empty() && line.back() == '\r') line.pop_back();
   return true;
 }
 
-bool FastxReader::next(FastxRecord& rec) {
+void FastxReader::pushPending(std::string line) {
+  pending_ = std::move(line);
+  have_pending_ = true;
+  pending_line_ = cur_line_;
+  pending_off_ = cur_off_;
+}
+
+bool FastxReader::nextRaw(FastxRecord& rec) {
   rec = FastxRecord{};
+  if (const FaultPlan* plan = activeFaultPlan();
+      plan != nullptr && plan->inputRecordEio(records_ + skipped_)) {
+    raise(common::ErrorCode::kIoFatal,
+          "fastx: I/O error (EIO) reading input — device failing? (injected "
+          "fault)",
+          "");
+  }
   std::string line;
   // Skip blank separator lines between records.
   do {
@@ -48,33 +102,78 @@ bool FastxReader::next(FastxRecord& rec) {
     std::string seq_line;
     while (nextLine(seq_line)) {
       if (!seq_line.empty() && (seq_line[0] == '>' || seq_line[0] == '@')) {
-        pending_ = std::move(seq_line);
-        have_pending_ = true;
+        pushPending(std::move(seq_line));
         break;
       }
       rec.seq += seq_line;
     }
+    ++records_;
     return true;
   }
   if (line[0] == '@') {
     splitHeader(std::string_view(line).substr(1), rec);
     if (!nextLine(rec.seq)) {
-      throw std::runtime_error("fastx: truncated FASTQ record " + rec.name);
+      raise(common::ErrorCode::kMalformedInput,
+            "fastx: FASTQ record truncated after header (no sequence line)",
+            rec.name);
     }
     std::string plus;
-    if (!nextLine(plus) || plus.empty() || plus[0] != '+') {
-      throw std::runtime_error("fastx: missing '+' line in " + rec.name);
+    if (!nextLine(plus)) {
+      raise(common::ErrorCode::kMalformedInput,
+            "fastx: FASTQ record truncated after sequence (no '+' line)",
+            rec.name);
+    }
+    if (plus.empty() || plus[0] != '+') {
+      raise(common::ErrorCode::kMalformedInput,
+            "fastx: expected '+' separator, got '" + excerpt(plus) + "'",
+            rec.name);
     }
     if (!nextLine(rec.qual)) {
-      throw std::runtime_error("fastx: missing quality line in " + rec.name);
+      raise(common::ErrorCode::kMalformedInput,
+            "fastx: FASTQ record truncated after '+' (no quality line)",
+            rec.name);
     }
     if (rec.qual.size() != rec.seq.size()) {
-      throw std::runtime_error("fastx: quality/sequence length mismatch in " +
-                               rec.name);
+      raise(common::ErrorCode::kMalformedInput,
+            "fastx: quality length " + std::to_string(rec.qual.size()) +
+                " != sequence length " + std::to_string(rec.seq.size()),
+            rec.name);
     }
+    ++records_;
     return true;
   }
-  throw std::runtime_error("fastx: unexpected line: " + line);
+  raise(common::ErrorCode::kMalformedInput,
+        "fastx: expected '>' or '@' header, got '" + excerpt(line) + "'", "");
+}
+
+void FastxReader::resync() {
+  std::string line;
+  while (nextLine(line)) {
+    if (!line.empty() && (line[0] == '>' || line[0] == '@')) {
+      pushPending(std::move(line));
+      return;
+    }
+  }
+}
+
+bool FastxReader::next(FastxRecord& rec) {
+  for (;;) {
+    try {
+      return nextRaw(rec);
+    } catch (const common::Error& e) {
+      if (policy_.on_bad_record == OnBadRecord::kAbort ||
+          e.code() != common::ErrorCode::kMalformedInput) {
+        throw;
+      }
+      ++skipped_;
+      if (policy_.on_bad_record == OnBadRecord::kWarn) {
+        std::ostream& warn =
+            policy_.warn_stream != nullptr ? *policy_.warn_stream : std::cerr;
+        warn << "[fastx] skipping bad record: " << e.what() << '\n';
+      }
+      resync();
+    }
+  }
 }
 
 std::vector<FastxRecord> FastxReader::nextBatch(std::size_t max_records) {
@@ -96,8 +195,18 @@ std::vector<FastxRecord> readFastx(std::istream& in) {
 
 std::vector<FastxRecord> readFastxFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("fastx: cannot open " + path);
-  return readFastx(in);
+  if (!in) {
+    throw common::Error(common::ErrorCode::kIoFatal,
+                        "fastx: cannot open file for reading",
+                        {.path = path});
+  }
+  FastxPolicy policy;
+  policy.path = path;
+  FastxReader reader(in, std::move(policy));
+  std::vector<FastxRecord> records;
+  FastxRecord rec;
+  while (reader.next(rec)) records.push_back(std::move(rec));
+  return records;
 }
 
 void writeFastx(std::ostream& out, const std::vector<FastxRecord>& records,
@@ -123,8 +232,17 @@ void writeFastxFile(const std::string& path,
                     const std::vector<FastxRecord>& records,
                     std::size_t line_width) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("fastx: cannot open " + path);
+  if (!out) {
+    throw common::Error(common::ErrorCode::kIoFatal,
+                        "fastx: cannot open file for writing",
+                        {.path = path});
+  }
   writeFastx(out, records, line_width);
+  out.flush();
+  if (!out) {
+    throw common::Error(common::ErrorCode::kIoFatal,
+                        "fastx: write failed (disk full?)", {.path = path});
+  }
 }
 
 }  // namespace gx::io

@@ -2,11 +2,25 @@
 // Minimal FASTA/FASTQ reading and writing (uncompressed), enough to move
 // workloads in and out of the pipeline and interoperate with standard
 // tooling.
+//
+// Failure model: every parse error is a common::Error with code
+// kMalformedInput and full context — 1-based line number, byte offset of
+// the offending line, record name where known — so a bad record deep in
+// a multi-GB FASTQ is locatable without bisection. A reader constructed
+// with OnBadRecord::kSkip or kWarn degrades per record instead of
+// throwing: it resyncs to the next '@'/'>' header line, counts the skip,
+// and keeps streaming (the contract a resident mapping server needs to
+// survive arbitrary client input). kAbort (the default) preserves the
+// historical throw-on-first-error behaviour.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "genasmx/common/error.hpp"
+#include "genasmx/io/fault.hpp"
 
 namespace gx::io {
 
@@ -17,14 +31,41 @@ struct FastxRecord {
   std::string qual;  ///< empty for FASTA
 };
 
+/// What a reader does with a malformed record.
+enum class OnBadRecord : std::uint8_t {
+  kAbort,  ///< throw common::Error (kMalformedInput) — historical default
+  kSkip,   ///< silently resync to the next header and count the skip
+  kWarn,   ///< like kSkip, plus the one-line error on the warn stream
+};
+
+struct FastxPolicy {
+  OnBadRecord on_bad_record = OnBadRecord::kAbort;
+  /// Warn target for kWarn (nullptr selects std::cerr).
+  std::ostream* warn_stream = nullptr;
+  /// Input path used in diagnostics ("" = anonymous stream).
+  std::string path;
+};
+
 /// Incremental FASTA/FASTQ parser: pulls one record (or one batch) at a
 /// time so pipelines can stream arbitrarily large read sets at bounded
-/// memory. Auto-detects FASTA vs FASTQ per record; throws
-/// std::runtime_error on malformed input.
+/// memory. Auto-detects FASTA vs FASTQ per record.
+///
+/// Under kAbort, next() throws common::Error (kMalformedInput, with
+/// line/byte context) on malformed input; under kSkip/kWarn it only
+/// throws for I/O failures (kIoFatal) and malformed records increment
+/// skipped(). Resync scans forward to the next line starting with '@'
+/// or '>' — like every FASTQ recovery heuristic it can mistake a
+/// quality line starting with '@' for a header, costing at most one
+/// extra skipped pseudo-record.
 class FastxReader {
  public:
   /// The stream must outlive the reader.
-  explicit FastxReader(std::istream& in) : in_(in) {}
+  explicit FastxReader(std::istream& in, FastxPolicy policy = {})
+      : in_(in), policy_(std::move(policy)) {
+    if (const FaultPlan* plan = activeFaultPlan()) {
+      truncate_at_ = plan->inputTruncateAt();
+    }
+  }
 
   /// Parse the next record into `rec` (contents replaced). Returns false
   /// at end of input.
@@ -33,16 +74,41 @@ class FastxReader {
   /// Parse up to `max_records` records; an empty result means EOF.
   [[nodiscard]] std::vector<FastxRecord> nextBatch(std::size_t max_records);
 
+  /// Malformed records skipped so far (kSkip/kWarn policies only).
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+  /// Records successfully returned so far.
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+  /// 1-based line number of the most recently consumed line.
+  [[nodiscard]] std::uint64_t line() const noexcept { return cur_line_; }
+  /// Byte offset of the start of the most recently consumed line.
+  [[nodiscard]] std::uint64_t byteOffset() const noexcept { return cur_off_; }
+
  private:
   bool nextLine(std::string& line);
+  void pushPending(std::string line);
+  bool nextRaw(FastxRecord& rec);  ///< throws common::Error on malformed
+  void resync();
+  [[noreturn]] void raise(common::ErrorCode code, const std::string& message,
+                          const std::string& record_name) const;
 
   std::istream& in_;
+  FastxPolicy policy_;
   std::string pending_;  ///< lookahead line (the next record's header)
   bool have_pending_ = false;
+  std::uint64_t pending_line_ = 0;  ///< saved position of the pending line
+  std::uint64_t pending_off_ = 0;
+  std::uint64_t line_no_ = 0;   ///< lines consumed from the stream
+  std::uint64_t byte_off_ = 0;  ///< bytes consumed from the stream
+  std::uint64_t cur_line_ = 0;  ///< position of the last returned line
+  std::uint64_t cur_off_ = 0;
+  std::uint64_t truncate_at_ = ~std::uint64_t{0};  ///< fault seam
+  bool truncated_ = false;  ///< fault truncation reached: behave as EOF
+  std::size_t records_ = 0;
+  std::size_t skipped_ = 0;
 };
 
 /// Parse all records from a stream; auto-detects FASTA vs FASTQ per
-/// record. Throws std::runtime_error on malformed input.
+/// record. Throws common::Error (kMalformedInput) on malformed input.
 [[nodiscard]] std::vector<FastxRecord> readFastx(std::istream& in);
 [[nodiscard]] std::vector<FastxRecord> readFastxFile(const std::string& path);
 

@@ -1,0 +1,182 @@
+#include "genasmx/io/fault.hpp"
+
+#include <atomic>
+#include <string>
+
+namespace gx::io {
+namespace {
+
+std::atomic<const FaultPlan*> g_active{nullptr};
+
+[[noreturn]] void badSpec(std::string_view clause, const std::string& why) {
+  throw common::Error(
+      common::ErrorCode::kMalformedInput,
+      "fault: bad clause '" + std::string(clause) + "': " + why +
+          " (grammar: kind@site:arg, e.g. truncate@4096, eio@rec:17, "
+          "enospc@out:2)");
+}
+
+bool parseU64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (~std::uint64_t{0} - (c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+FaultClause parseClause(std::string_view clause) {
+  const std::size_t at = clause.find('@');
+  if (at == std::string_view::npos) badSpec(clause, "missing '@'");
+  const std::string_view kind_s = clause.substr(0, at);
+  std::string_view rest = clause.substr(at + 1);
+
+  FaultClause c;
+  if (kind_s == "truncate") {
+    c.kind = FaultKind::kTruncate;
+  } else if (kind_s == "eio") {
+    c.kind = FaultKind::kEio;
+  } else if (kind_s == "enospc") {
+    c.kind = FaultKind::kEnospc;
+  } else if (kind_s == "eintr") {
+    c.kind = FaultKind::kEintr;
+  } else if (kind_s == "eagain") {
+    c.kind = FaultKind::kEagain;
+  } else if (kind_s == "short") {
+    c.kind = FaultKind::kShortWrite;
+  } else {
+    badSpec(clause, "unknown kind '" + std::string(kind_s) + "'");
+  }
+
+  // Site is optional for truncate (defaults to the input stream):
+  // `truncate@4096` == `truncate@in:4096`.
+  const std::size_t colon = rest.find(':');
+  std::string_view site_s, arg_s;
+  if (colon == std::string_view::npos) {
+    site_s = "in";
+    arg_s = rest;
+  } else {
+    site_s = rest.substr(0, colon);
+    arg_s = rest.substr(colon + 1);
+  }
+  if (site_s == "in") {
+    c.site = FaultSite::kInput;
+  } else if (site_s == "rec") {
+    c.site = FaultSite::kInputRecord;
+  } else if (site_s == "map") {
+    c.site = FaultSite::kMap;
+  } else if (site_s == "out") {
+    c.site = FaultSite::kOutput;
+  } else {
+    badSpec(clause, "unknown site '" + std::string(site_s) + "'");
+  }
+  if (!parseU64(arg_s, c.arg)) {
+    badSpec(clause, "bad numeric argument '" + std::string(arg_s) + "'");
+  }
+
+  // Reject combinations no seam implements, so a typo'd plan fails at
+  // parse time instead of silently never firing.
+  switch (c.site) {
+    case FaultSite::kInput:
+    case FaultSite::kMap:
+      if (c.kind != FaultKind::kTruncate) {
+        badSpec(clause, "only 'truncate' applies to this site");
+      }
+      break;
+    case FaultSite::kInputRecord:
+      if (c.kind != FaultKind::kEio) {
+        badSpec(clause, "only 'eio' applies to site 'rec'");
+      }
+      break;
+    case FaultSite::kOutput:
+      if (c.kind == FaultKind::kTruncate) {
+        badSpec(clause, "'truncate' does not apply to site 'out'");
+      }
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view clause = spec.substr(pos, comma - pos);
+    // Tolerate surrounding whitespace — the spec typically arrives via an
+    // environment variable or shell-quoted flag.
+    while (!clause.empty() && (clause.front() == ' ' || clause.front() == '\t'))
+      clause.remove_prefix(1);
+    while (!clause.empty() && (clause.back() == ' ' || clause.back() == '\t'))
+      clause.remove_suffix(1);
+    if (!clause.empty()) plan.clauses_.push_back(parseClause(clause));
+    pos = comma + 1;
+  }
+  return plan;
+}
+
+std::uint64_t FaultPlan::inputTruncateAt() const noexcept {
+  std::uint64_t at = kNoLimit;
+  for (const FaultClause& c : clauses_) {
+    if (c.kind == FaultKind::kTruncate && c.site == FaultSite::kInput &&
+        c.arg < at) {
+      at = c.arg;
+    }
+  }
+  return at;
+}
+
+bool FaultPlan::inputRecordEio(std::uint64_t record_index) const noexcept {
+  for (const FaultClause& c : clauses_) {
+    if (c.kind == FaultKind::kEio && c.site == FaultSite::kInputRecord &&
+        c.arg == record_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultPlan::mapTruncateAt() const noexcept {
+  std::uint64_t at = kNoLimit;
+  for (const FaultClause& c : clauses_) {
+    if (c.kind == FaultKind::kTruncate && c.site == FaultSite::kMap &&
+        c.arg < at) {
+      at = c.arg;
+    }
+  }
+  return at;
+}
+
+FaultKind FaultPlan::outputFault(std::uint64_t write_index,
+                                 std::uint64_t attempt) const noexcept {
+  for (const FaultClause& c : clauses_) {
+    if (c.site != FaultSite::kOutput || c.arg != write_index) continue;
+    const bool persistent =
+        c.kind == FaultKind::kEnospc || c.kind == FaultKind::kEio;
+    if (persistent || attempt == 0) return c.kind;
+  }
+  return FaultKind::kNone;
+}
+
+const FaultPlan* activeFaultPlan() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)
+    : plan_(std::move(plan)),
+      previous_(g_active.load(std::memory_order_relaxed)) {
+  g_active.store(plan_.empty() ? previous_ : &plan_,
+                 std::memory_order_release);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+}  // namespace gx::io

@@ -1,0 +1,116 @@
+#pragma once
+// Deterministic fault injection for the io layer. A FaultPlan is pure
+// data parsed from a spec string (the GENASMX_FAULT environment variable
+// or a tool's --fault flag); the io seams — FastxReader, MappedFile,
+// PafWriter — consult the process-wide installed plan at well-defined
+// points, passing their OWN position counters, so a given (plan, input)
+// pair always fails at exactly the same byte/record/write. That
+// determinism is what makes the failure-isolation layer testable: the
+// fault matrix in tests/test_faults.cpp replays the same faults the ops
+// runbook would describe, and asserts one-line errors and counted skips
+// instead of crashes.
+//
+// Spec grammar: comma-separated clauses, each `kind@site:arg`.
+//
+//   truncate@N        input stream appears to end at byte offset N
+//   truncate@in:N     (same, explicit site)
+//   eio@rec:N         reading input record N (0-based) raises EIO
+//   truncate@map:N    MappedFile::open sees at most N bytes
+//   enospc@out:N      output write N (0-based flush count) fails ENOSPC
+//   eio@out:N         output write N fails EIO (persists across retries)
+//   eintr@out:N       output write N is interrupted once, retry succeeds
+//   eagain@out:N      output write N would block once, retry succeeds
+//   short@out:N       output write N writes only half, rest on retry
+//
+// The plan itself holds no mutable state (queries take the caller's
+// counters), so one plan can serve concurrent readers/writers and a
+// replayed run is bit-for-bit repeatable.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/common/error.hpp"
+
+namespace gx::io {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kTruncate,
+  kEio,
+  kEnospc,
+  kEintr,
+  kEagain,
+  kShortWrite,
+};
+
+enum class FaultSite : std::uint8_t {
+  kInput,        ///< byte-offset faults on the read stream
+  kInputRecord,  ///< per-record faults on the read stream
+  kMap,          ///< MappedFile::open
+  kOutput,       ///< PafWriter flush-to-stream writes
+};
+
+struct FaultClause {
+  FaultKind kind = FaultKind::kNone;
+  FaultSite site = FaultSite::kInput;
+  std::uint64_t arg = 0;  ///< byte offset or ordinal, per site
+};
+
+class FaultPlan {
+ public:
+  static constexpr std::uint64_t kNoLimit = ~std::uint64_t{0};
+
+  FaultPlan() = default;
+
+  /// Parse a spec (see grammar above). Throws common::Error
+  /// (kMalformedInput) naming the offending clause on bad syntax.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  [[nodiscard]] bool empty() const noexcept { return clauses_.empty(); }
+  [[nodiscard]] const std::vector<FaultClause>& clauses() const noexcept {
+    return clauses_;
+  }
+
+  /// Smallest input-truncation offset, or kNoLimit.
+  [[nodiscard]] std::uint64_t inputTruncateAt() const noexcept;
+
+  /// Should parsing input record `record_index` (0-based) raise EIO?
+  [[nodiscard]] bool inputRecordEio(std::uint64_t record_index) const noexcept;
+
+  /// Smallest map-truncation size, or kNoLimit.
+  [[nodiscard]] std::uint64_t mapTruncateAt() const noexcept;
+
+  /// Fault for output write `write_index`, attempt `attempt` (0-based
+  /// per write). Transient kinds (EINTR/EAGAIN/short) fire only on
+  /// attempt 0 — a retry deterministically succeeds; persistent kinds
+  /// (ENOSPC/EIO) fire on every attempt.
+  [[nodiscard]] FaultKind outputFault(std::uint64_t write_index,
+                                      std::uint64_t attempt) const noexcept;
+
+ private:
+  std::vector<FaultClause> clauses_;
+};
+
+/// The process-wide active plan consulted by the io seams; nullptr (the
+/// default) means every seam check is a single relaxed atomic load.
+[[nodiscard]] const FaultPlan* activeFaultPlan() noexcept;
+
+/// Install `plan` for the lifetime of the guard (tests, tool main).
+/// Plans do not nest meaningfully — the innermost guard wins, and its
+/// destructor restores the previous plan. Not for concurrent
+/// installation from multiple threads.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultPlan plan_;
+  const FaultPlan* previous_;
+};
+
+}  // namespace gx::io

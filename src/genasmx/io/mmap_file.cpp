@@ -4,6 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "genasmx/common/error.hpp"
+#include "genasmx/io/fault.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define GENASMX_HAVE_MMAP 1
 #include <fcntl.h>
@@ -18,8 +21,20 @@ namespace gx::io {
 namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error("MappedFile: cannot " + what + " '" + path +
-                           "': " + std::strerror(errno));
+  throw common::Error(common::ErrorCode::kIoFatal,
+                      "MappedFile: cannot " + what + ": " +
+                          std::strerror(errno),
+                      {.path = path});
+}
+
+/// Fault seam: a `truncate@map:N` clause makes every mapped file look at
+/// most N bytes long, simulating a truncated copy without touching disk.
+std::size_t clampToFaultPlan(std::size_t size) {
+  if (const FaultPlan* plan = activeFaultPlan()) {
+    const std::uint64_t at = plan->mapTruncateAt();
+    if (at < size) return static_cast<std::size_t>(at);
+  }
+  return size;
 }
 
 }  // namespace
@@ -36,7 +51,7 @@ MappedFile MappedFile::open(const std::string& path) {
     errno = saved;
     fail("stat", path);
   }
-  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  const std::size_t size = clampToFaultPlan(static_cast<std::size_t>(st.st_size));
   if (size > 0) {
     // MAP_PRIVATE on a read-only mapping: pages stay shared with the
     // page cache (no copy happens without a write), so N mapping
@@ -56,18 +71,32 @@ MappedFile MappedFile::open(const std::string& path) {
 #else
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
-    throw std::runtime_error("MappedFile: cannot open '" + path + "'");
+    throw common::Error(common::ErrorCode::kIoFatal,
+                        "MappedFile: cannot open", {.path = path});
   }
-  const std::streamoff size = in.tellg();
+  const std::streamoff raw_size = in.tellg();
   in.seekg(0);
-  f.owned_.resize(static_cast<std::size_t>(size));
+  const std::size_t size =
+      clampToFaultPlan(static_cast<std::size_t>(raw_size));
+  f.owned_.resize(size);
   if (size > 0 &&
-      !in.read(reinterpret_cast<char*>(f.owned_.data()), size)) {
-    throw std::runtime_error("MappedFile: cannot read '" + path + "'");
+      !in.read(reinterpret_cast<char*>(f.owned_.data()),
+               static_cast<std::streamsize>(size))) {
+    throw common::Error(common::ErrorCode::kIoFatal,
+                        "MappedFile: cannot read", {.path = path});
   }
   f.data_ = f.owned_.data();
   f.size_ = f.owned_.size();
 #endif
+  f.open_ = true;
+  return f;
+}
+
+MappedFile MappedFile::fromBytes(std::vector<std::byte> bytes) {
+  MappedFile f;
+  f.owned_ = std::move(bytes);
+  f.data_ = f.owned_.data();
+  f.size_ = f.owned_.size();
   f.open_ = true;
   return f;
 }

@@ -69,7 +69,8 @@ class SectionWriter {
     if (!out_.write(static_cast<const char*>(data),
                     static_cast<std::streamsize>(n))) {
       throw IndexIoError("writeIndexFile: write to '" + path_ +
-                         "' failed (disk full or permissions?)");
+                             "' failed (disk full or permissions?)",
+                         common::ErrorCode::kIoFatal);
     }
   }
 
@@ -159,7 +160,8 @@ void writeIndexFile(const std::string& path, const MinimizerIndex& index,
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw IndexIoError("writeIndexFile: cannot open '" + path +
-                       "' for writing");
+                           "' for writing",
+                       common::ErrorCode::kIoFatal);
   }
   SectionWriter w(out, path);
 
@@ -187,19 +189,25 @@ void writeIndexFile(const std::string& path, const MinimizerIndex& index,
           index.values().size() * sizeof(std::uint64_t));
 
   if (w.pos() != l.file_bytes) {
-    throw IndexIoError("writeIndexFile: internal layout mismatch");
+    throw IndexIoError("writeIndexFile: internal layout mismatch",
+                       common::ErrorCode::kInternal);
   }
   h.payload_hash = w.payloadHash();
   h.header_hash = headerHash(h);
   out.seekp(0);
   if (!out.write(reinterpret_cast<const char*>(&h), sizeof(h)) ||
       !out.flush()) {
-    throw IndexIoError("writeIndexFile: finalizing '" + path + "' failed");
+    throw IndexIoError("writeIndexFile: finalizing '" + path + "' failed",
+                       common::ErrorCode::kIoFatal);
   }
 }
 
 MappedIndex::MappedIndex(const std::string& path, Options opt)
-    : file_(io::MappedFile::open(path)) {
+    : MappedIndex(io::MappedFile::open(path), opt, path) {}
+
+MappedIndex::MappedIndex(io::MappedFile file, Options opt, std::string name)
+    : file_(std::move(file)) {
+  const std::string& path = name;
   if (file_.size() < sizeof(IndexFileHeader)) {
     reject(path, "truncated: " + std::to_string(file_.size()) +
                      " bytes is smaller than the " +

@@ -36,6 +36,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "genasmx/common/error.hpp"
 #include "genasmx/io/mmap_file.hpp"
 #include "genasmx/mapper/index.hpp"
 #include "genasmx/mapper/index_view.hpp"
@@ -93,10 +94,17 @@ static_assert(sizeof(IndexContigRecord) == 64,
 /// Thrown for every malformed-file condition (bad magic, version or
 /// endianness mismatch, truncation, checksum failure, inconsistent
 /// section table) and for write failures. The message always says what
-/// was wrong and what to do about it.
-class IndexIoError : public std::runtime_error {
+/// was wrong and what to do about it. Part of the structured error
+/// taxonomy: malformed files carry kMalformedInput, write/environment
+/// failures kIoFatal, so a server can refuse a bad index upload without
+/// treating it like a dying disk.
+class IndexIoError : public common::Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit IndexIoError(
+      const std::string& message,
+      common::ErrorCode code = common::ErrorCode::kMalformedInput,
+      common::ErrorContext ctx = {})
+      : common::Error(code, message, std::move(ctx)) {}
 };
 
 /// Serialize `index` (built over `ref`) to `path`. Overwrites an
@@ -127,6 +135,14 @@ class MappedIndex {
   /// Open and validate `path`. Throws IndexIoError with an actionable
   /// message on any mismatch (see class comment on the format).
   explicit MappedIndex(const std::string& path, Options opt = {});
+
+  /// Validate and serve an already-opened mapping (or an in-memory
+  /// buffer via MappedFile::fromBytes). `name` stands in for the path in
+  /// diagnostics. This is the seam the fuzz harnesses and the fault
+  /// matrix drive: arbitrary bytes go through the exact validation path
+  /// the mmap loader uses, no filesystem required.
+  explicit MappedIndex(io::MappedFile file, Options opt = {},
+                       std::string name = "<memory>");
 
   MappedIndex(const MappedIndex&) = delete;
   MappedIndex& operator=(const MappedIndex&) = delete;

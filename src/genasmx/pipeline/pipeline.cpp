@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 #include <istream>
 #include <limits>
+#include <ostream>
 #include <utility>
 
 #include "genasmx/common/sequence.hpp"
@@ -165,6 +167,37 @@ struct RecordBuilder {
 
 }  // namespace
 
+void RunReport::print(std::ostream& os) const {
+  os << "[genasmx] run report: " << records_in << " records in, "
+     << records_out << " records out";
+  if (skipped_bad_records != 0) {
+    os << ", " << skipped_bad_records << " bad records skipped";
+  }
+  if (rejected_reads != 0) {
+    os << ", " << rejected_reads << " reads rejected (admission caps)";
+  }
+  if (failed_reads != 0) {
+    os << ", " << failed_reads << " reads degraded after failures";
+  }
+  if (failed_tasks != 0) {
+    os << ", " << failed_tasks << " alignment tasks failed";
+  }
+  os << '\n';
+  if (errors.total() != 0) {
+    os << "[genasmx]   error counts:";
+    for (std::size_t i = 1; i < common::kErrorCodeCount; ++i) {
+      const auto code = static_cast<common::ErrorCode>(i);
+      if (errors[code] != 0) {
+        os << ' ' << common::errorCodeName(code) << '=' << errors[code];
+      }
+    }
+    os << '\n';
+  }
+  if (!first_error.ok()) {
+    os << "[genasmx]   first error: " << first_error.message() << '\n';
+  }
+}
+
 MappingPipeline::MappingPipeline(refmodel::Reference ref, PipelineConfig cfg)
     : cfg_(std::move(cfg)),
       engine_(cfg_.engine),
@@ -185,22 +218,35 @@ MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
 std::vector<io::PafRecord> MappingPipeline::mapBatch(
     const std::vector<io::FastxRecord>& reads) {
   // Stage 1 — candidate generation, fanned out on the engine's pool.
+  // Each read is isolated: a throw poisons that read alone (it degrades
+  // to unmapped), never the batch. failed[i]/read_status[i] are written
+  // only by the worker that owns read i, then folded serially at
+  // emission, so the accounting is deterministic at any thread count.
   util::Timer stage_timer;
   std::vector<ReadWork> work(reads.size());
+  std::vector<unsigned char> failed(reads.size(), 0);
+  std::vector<common::Status> read_status(reads.size());
   engine_.pool().parallel_for(
       reads.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          auto cands = mapper_.map(reads[i].seq);
-          if (cands.size() > cfg_.max_candidates) {
-            cands.resize(cfg_.max_candidates);
+          try {
+            auto cands = mapper_.map(reads[i].seq);
+            if (cands.size() > cfg_.max_candidates) {
+              cands.resize(cfg_.max_candidates);
+            }
+            const bool any_reverse = std::any_of(
+                cands.begin(), cands.end(),
+                [](const mapper::Candidate& c) { return c.reverse; });
+            if (any_reverse) {
+              work[i].rc = common::reverseComplement(reads[i].seq);
+            }
+            work[i].cands = std::move(cands);
+          } catch (...) {
+            work[i].cands.clear();
+            work[i].rc.clear();
+            read_status[i] = common::Status::fromCurrentException();
+            failed[i] = 1;
           }
-          const bool any_reverse =
-              std::any_of(cands.begin(), cands.end(),
-                          [](const mapper::Candidate& c) { return c.reverse; });
-          if (any_reverse) {
-            work[i].rc = common::reverseComplement(reads[i].seq);
-          }
-          work[i].cands = std::move(cands);
         }
       });
   times_.seed_chain_s += stage_timer.seconds();
@@ -215,6 +261,18 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
 
   std::vector<io::PafRecord> out;
   RecordBuilder builder{mapper_.reference(), stats_, out};
+
+  // Fold per-read failure flags into the report during the serial
+  // emission walk (input order -> deterministic first_error).
+  const auto tallyFailure = [&](std::size_t i) {
+    if (failed[i] == 0) return;
+    ++report_.failed_reads;
+    report_.errors.add(read_status[i].ok() ? common::ErrorCode::kInternal
+                                           : read_status[i].code());
+    if (report_.first_error.ok() && !read_status[i].ok()) {
+      report_.first_error = read_status[i];
+    }
+  };
 
   if (!cfg_.emit_secondary) {
     // ------------------------------------------- primary-only flow
@@ -246,76 +304,128 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       std::vector<common::AlignmentResult> chain_best(reads.size());
       engine_.pool().parallel_for(
           reads.size(), [&](std::size_t begin, std::size_t end) {
-            engine::AlignmentEngine::AlignerLease aligner(engine_);
-            if (cfg_.batched_distance) {
-              // Chain-best alignments for the whole chunk through one
-              // batched call, so the winners' tracebacks also run in
-              // SIMD lanes (alignBatch == per-task align by contract).
-              std::vector<engine::AlignmentTask> best_tasks;
-              std::vector<std::size_t> best_reads;
-              for (std::size_t i = begin; i < end; ++i) {
-                if (work[i].cands.empty()) continue;
-                const auto& cand = work[i].cands[0];
-                best_tasks.push_back({targetView(cand), queryView(i, cand)});
-                best_reads.push_back(i);
-              }
-              std::vector<common::AlignmentResult> best(best_tasks.size());
-              aligner->alignBatch(best_tasks.data(), best_tasks.size(),
-                                  best.data());
-              for (std::size_t k = 0; k < best_reads.size(); ++k) {
-                const std::size_t i = best_reads[k];
-                chain_best[i] = std::move(best[k]);
-                if (chain_best[i].ok) {
-                  picks[i].update(0, static_cast<int>(
-                                         chain_best[i].cigar.editDistance()));
-                }
-              }
-              std::size_t task_count = 0;
-              for (std::size_t i = begin; i < end; ++i) {
-                if (work[i].cands.size() > 1) {
-                  task_count += work[i].cands.size() - 1;
-                }
-              }
-              std::vector<engine::DistanceTask> tasks;
-              std::vector<std::pair<std::size_t, std::size_t>> task_cand;
-              tasks.reserve(task_count);
-              task_cand.reserve(task_count);
-              for (std::size_t i = begin; i < end; ++i) {
-                const auto& cands = work[i].cands;
-                const int cap = picks[i].scoreCap();
-                for (std::size_t c = 1; c < cands.size(); ++c) {
-                  tasks.push_back(
-                      {targetView(cands[c]), queryView(i, cands[c]), cap});
-                  task_cand.emplace_back(i, c);
-                }
-              }
-              std::vector<int> ds(tasks.size(), -1);
-              aligner->distanceBatch(tasks.data(), tasks.size(), ds.data());
-              // Fold in chain order (tasks were emitted in chain order).
-              for (std::size_t k = 0; k < tasks.size(); ++k) {
-                if (ds[k] >= 0) {
-                  picks[task_cand[k].first].update(
-                      static_cast<int>(task_cand[k].second), ds[k]);
-                }
-              }
-              return;  // this chunk is done; scalar path below unused
-            }
-            for (std::size_t i = begin; i < end; ++i) {
-              Pick& p = picks[i];
-              const auto& cands = work[i].cands;
-              for (std::size_t c = 0; c < cands.size(); ++c) {
-                const auto target = targetView(cands[c]);
-                const auto query = queryView(i, cands[c]);
-                if (c == 0) {
-                  chain_best[i] = aligner->align(target, query);
-                  if (chain_best[i].ok) {
-                    p.update(0, static_cast<int>(
-                                    chain_best[i].cigar.editDistance()));
+            bool chunk_ok = true;
+            {
+              engine::AlignmentEngine::AlignerLease aligner(engine_);
+              try {
+                if (cfg_.batched_distance) {
+                  // Chain-best alignments for the whole chunk through one
+                  // batched call, so the winners' tracebacks also run in
+                  // SIMD lanes (alignBatch == per-task align by contract).
+                  std::vector<engine::AlignmentTask> best_tasks;
+                  std::vector<std::size_t> best_reads;
+                  for (std::size_t i = begin; i < end; ++i) {
+                    if (work[i].cands.empty()) continue;
+                    const auto& cand = work[i].cands[0];
+                    best_tasks.push_back(
+                        {targetView(cand), queryView(i, cand)});
+                    best_reads.push_back(i);
                   }
-                  continue;
+                  std::vector<common::AlignmentResult> best(best_tasks.size());
+                  aligner->alignBatch(best_tasks.data(), best_tasks.size(),
+                                      best.data());
+                  for (std::size_t k = 0; k < best_reads.size(); ++k) {
+                    const std::size_t i = best_reads[k];
+                    chain_best[i] = std::move(best[k]);
+                    if (chain_best[i].ok) {
+                      picks[i].update(
+                          0,
+                          static_cast<int>(chain_best[i].cigar.editDistance()));
+                    }
+                  }
+                  std::size_t task_count = 0;
+                  for (std::size_t i = begin; i < end; ++i) {
+                    if (work[i].cands.size() > 1) {
+                      task_count += work[i].cands.size() - 1;
+                    }
+                  }
+                  std::vector<engine::DistanceTask> tasks;
+                  std::vector<std::pair<std::size_t, std::size_t>> task_cand;
+                  tasks.reserve(task_count);
+                  task_cand.reserve(task_count);
+                  for (std::size_t i = begin; i < end; ++i) {
+                    const auto& cands = work[i].cands;
+                    const int cap = picks[i].scoreCap();
+                    for (std::size_t c = 1; c < cands.size(); ++c) {
+                      tasks.push_back(
+                          {targetView(cands[c]), queryView(i, cands[c]), cap});
+                      task_cand.emplace_back(i, c);
+                    }
+                  }
+                  std::vector<int> ds(tasks.size(), -1);
+                  aligner->distanceBatch(tasks.data(), tasks.size(),
+                                         ds.data());
+                  // Fold in chain order (tasks were emitted in chain
+                  // order).
+                  for (std::size_t k = 0; k < tasks.size(); ++k) {
+                    if (ds[k] >= 0) {
+                      picks[task_cand[k].first].update(
+                          static_cast<int>(task_cand[k].second), ds[k]);
+                    }
+                  }
+                } else {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    Pick& p = picks[i];
+                    const auto& cands = work[i].cands;
+                    for (std::size_t c = 0; c < cands.size(); ++c) {
+                      const auto target = targetView(cands[c]);
+                      const auto query = queryView(i, cands[c]);
+                      if (c == 0) {
+                        chain_best[i] = aligner->align(target, query);
+                        if (chain_best[i].ok) {
+                          p.update(0,
+                                   static_cast<int>(
+                                       chain_best[i].cigar.editDistance()));
+                        }
+                        continue;
+                      }
+                      const int d =
+                          aligner->distance(target, query, p.scoreCap());
+                      if (d >= 0) p.update(static_cast<int>(c), d);
+                    }
+                  }
                 }
-                const int d = aligner->distance(target, query, p.scoreCap());
-                if (d >= 0) p.update(static_cast<int>(c), d);
+              } catch (...) {
+                // The chunk's batched scoring died mid-flight: partial
+                // picks and a torn aligner. Drop the aligner and redo
+                // this chunk one read at a time below.
+                aligner.poison();
+                chunk_ok = false;
+              }
+            }
+            if (chunk_ok) return;
+            // Isolation rerun: per-read scalar scoring through the
+            // engine's single-pair entry points (which construct fresh
+            // aligners and never recycle one that threw). The dynamic
+            // scalar cap and the frozen batched cap emit identical
+            // records (Pick::scoreCap's saturation argument), so a
+            // recovered read is byte-identical to a never-failed one. A
+            // read that still throws degrades to its chain-only record.
+            for (std::size_t i = begin; i < end; ++i) {
+              picks[i] = Pick{};
+              chain_best[i] = common::AlignmentResult{};
+              const auto& cands = work[i].cands;
+              try {
+                Pick& p = picks[i];
+                for (std::size_t c = 0; c < cands.size(); ++c) {
+                  const auto target = targetView(cands[c]);
+                  const auto query = queryView(i, cands[c]);
+                  if (c == 0) {
+                    chain_best[i] = engine_.align(target, query);
+                    if (chain_best[i].ok) {
+                      p.update(0, static_cast<int>(
+                                      chain_best[i].cigar.editDistance()));
+                    }
+                    continue;
+                  }
+                  const int d = engine_.distance(target, query, p.scoreCap());
+                  if (d >= 0) p.update(static_cast<int>(c), d);
+                }
+              } catch (...) {
+                picks[i] = Pick{};
+                chain_best[i] = common::AlignmentResult{};
+                read_status[i] = common::Status::fromCurrentException();
+                failed[i] = 1;
               }
             }
           });
@@ -380,6 +490,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     for (std::size_t i = 0; i < reads.size(); ++i) {
       const auto& cands = work[i].cands;
       ++stats_.reads;
+      tallyFailure(i);
       if (cands.empty()) {
         ++stats_.unmapped_reads;
         continue;
@@ -432,6 +543,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     const auto& read = reads[i];
     const auto& cands = work[i].cands;
     ++stats_.reads;
+    tallyFailure(i);
     if (cands.empty()) {
       ++stats_.unmapped_reads;
       continue;
@@ -487,22 +599,69 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   return out;
 }
 
-PipelineStats MappingPipeline::run(std::istream& reads_in,
-                                   io::PafWriter& out) {
+PipelineStats MappingPipeline::run(std::istream& reads_in, io::PafWriter& out,
+                                   const std::string& input_path) {
   const PipelineStats before = stats_;
+  const std::uint64_t task_failures_before = engine_.taskFailures();
   const std::size_t batch_reads = cfg_.batch_reads ? cfg_.batch_reads : 256;
-  io::FastxReader reader(reads_in);
-  while (true) {
-    const auto batch = reader.nextBatch(batch_reads);
-    if (batch.empty()) break;
-    const auto records = mapBatch(batch);
-    util::Timer write_timer;
-    for (const auto& rec : records) out.write(rec);
-    times_.output_s += write_timer.seconds();
+  io::FastxPolicy policy;
+  policy.on_bad_record = cfg_.on_bad_record;
+  policy.path = input_path;
+  io::FastxReader reader(reads_in, std::move(policy));
+
+  // Report bookkeeping shared by the clean exit and the throw path: the
+  // reader's skip count and the engine's task-failure delta are folded
+  // in exactly once, whatever way this run ends.
+  const auto finalizeReport = [&] {
+    report_.skipped_bad_records += reader.skipped();
+    report_.errors.add(common::ErrorCode::kMalformedInput, reader.skipped());
+    report_.failed_tasks += engine_.taskFailures() - task_failures_before;
+  };
+
+  try {
+    std::vector<io::FastxRecord> batch;
+    std::size_t batch_bytes = 0;
+    const auto dispatch = [&] {
+      const auto records = mapBatch(batch);
+      util::Timer write_timer;
+      for (const auto& rec : records) out.write(rec);
+      times_.output_s += write_timer.seconds();
+      report_.records_out += records.size();
+      batch.clear();
+      batch_bytes = 0;
+    };
+    io::FastxRecord rec;
+    while (reader.next(rec)) {
+      ++report_.records_in;
+      if (cfg_.max_read_len != 0 && rec.seq.size() > cfg_.max_read_len) {
+        // Admission cap: the read never reaches the mapper; one counter
+        // tick instead of an unbounded DP allocation.
+        ++report_.rejected_reads;
+        report_.errors.add(common::ErrorCode::kResourceLimit);
+        continue;
+      }
+      batch_bytes += rec.seq.size();
+      batch.push_back(std::move(rec));
+      if (batch.size() >= batch_reads ||
+          (cfg_.max_batch_bytes != 0 && batch_bytes >= cfg_.max_batch_bytes)) {
+        dispatch();
+      }
+    }
+    if (!batch.empty()) dispatch();
+    util::Timer flush_timer;
+    out.flush();
+    times_.output_s += flush_timer.seconds();
+  } catch (...) {
+    finalizeReport();
+    if (report_.first_error.ok()) {
+      report_.first_error = common::Status::fromCurrentException();
+      report_.errors.add(report_.first_error.code());
+    }
+    report_.print(std::cerr);
+    throw;
   }
-  util::Timer flush_timer;
-  out.flush();
-  times_.output_s += flush_timer.seconds();
+  finalizeReport();
+  if (!report_.clean()) report_.print(std::cerr);
   return stats_ - before;
 }
 

@@ -66,6 +66,22 @@ struct PipelineConfig {
   bool batched_distance = true;
   /// MAPQ ceiling (minimap2 convention).
   int mapq_cap = 60;
+  /// What run() does with a malformed input record: kAbort (default,
+  /// the historical throw-on-first-error), or kSkip/kWarn — resync to
+  /// the next record and keep mapping (io::FastxReader's degradation
+  /// policy; every skip is counted in the RunReport).
+  io::OnBadRecord on_bad_record = io::OnBadRecord::kAbort;
+  /// Admission cap: reads longer than this many bases are rejected
+  /// before mapping (counted as rejected_reads / resource-limit in the
+  /// RunReport; nothing is emitted for them). 0 = unlimited — the
+  /// default keeps clean runs byte-identical to earlier releases.
+  std::size_t max_read_len = 0;
+  /// Admission cap on sequence bytes per mapping batch: a batch closes
+  /// early once it holds this much sequence, bounding peak memory
+  /// against pathological read-length mixes. 0 = unlimited. Per-read
+  /// output is independent of batch boundaries, so any value emits
+  /// byte-identical PAF.
+  std::size_t max_batch_bytes = 0;
 };
 
 struct PipelineStats {
@@ -74,6 +90,33 @@ struct PipelineStats {
   std::size_t unmapped_reads = 0;  ///< reads with no candidate
   std::size_t candidates = 0;      ///< candidate windows dispatched
   std::size_t records = 0;         ///< PAF records emitted
+};
+
+/// Robustness accounting, accumulated across every run()/mapBatch()
+/// call: what came in, what went out, and every degradation in between.
+/// A clean run has every counter at zero except records_in/records_out;
+/// anything else means input was skipped, rejected, or mapped without a
+/// full alignment — visible here instead of silently shaping the output.
+struct RunReport {
+  std::uint64_t records_in = 0;   ///< records parsed from the input
+  std::uint64_t records_out = 0;  ///< PAF records written by run()
+  std::uint64_t skipped_bad_records = 0;  ///< malformed, skipped by policy
+  std::uint64_t rejected_reads = 0;       ///< admission caps (resource-limit)
+  std::uint64_t failed_reads = 0;  ///< degraded after per-read failures
+  std::uint64_t failed_tasks = 0;  ///< engine tasks that failed in isolation
+  common::ErrorCounts errors;      ///< occurrences per ErrorCode
+  common::Status first_error;      ///< first failure seen, ok() if none
+
+  /// True when nothing was skipped, rejected, degraded, or failed.
+  [[nodiscard]] bool clean() const noexcept {
+    return skipped_bad_records == 0 && rejected_reads == 0 &&
+           failed_reads == 0 && failed_tasks == 0 && errors.total() == 0 &&
+           first_error.ok();
+  }
+
+  /// Compact multi-line summary ("[genasmx] run report: ..."). run()
+  /// prints this to stderr whenever !clean(); tools call it explicitly.
+  void print(std::ostream& os) const;
 };
 
 /// Per-stage wall-clock breakdown, accumulated across every mapBatch()/
@@ -140,12 +183,21 @@ class MappingPipeline {
       const std::vector<io::FastxRecord>& reads);
 
   /// Stream `reads_in` (FASTA/FASTQ) through mapBatch() in
-  /// config().batch_reads chunks, writing PAF to `out`. Returns the
-  /// aggregate statistics of this run.
-  PipelineStats run(std::istream& reads_in, io::PafWriter& out);
+  /// config().batch_reads chunks (closing a batch early if
+  /// max_batch_bytes says so), writing PAF to `out`. Returns the
+  /// aggregate statistics of this run. Degradations — skipped bad
+  /// records, rejected over-cap reads, per-read alignment failures —
+  /// are tallied in report(), which is also printed to stderr whenever
+  /// it is not clean. `input_path` only labels diagnostics.
+  PipelineStats run(std::istream& reads_in, io::PafWriter& out,
+                    const std::string& input_path = "");
 
   /// Statistics accumulated across every mapBatch()/run() call.
   [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+
+  /// Robustness accounting accumulated across every mapBatch()/run()
+  /// call (see RunReport).
+  [[nodiscard]] const RunReport& report() const noexcept { return report_; }
 
   /// Per-stage timing accumulated across every mapBatch()/run() call
   /// (index_build_s is charged once, at construction).
@@ -159,6 +211,7 @@ class MappingPipeline {
   StageTimes times_;                ///< before mapper_: ctor times the build
   mapper::Mapper mapper_;
   PipelineStats stats_;
+  RunReport report_;
 };
 
 }  // namespace gx::pipeline

@@ -1,6 +1,7 @@
 #include "genasmx/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace gx::util {
 
@@ -35,6 +36,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (pending_error_) {
+    std::exception_ptr err = std::exchange(pending_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -59,9 +65,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard lock(mu_);
+      if (err && !pending_error_) pending_error_ = err;
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

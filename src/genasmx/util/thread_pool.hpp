@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -30,11 +31,17 @@ class ThreadPool {
   /// Enqueue an arbitrary task. Fire and forget; use wait_idle() to join.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception here (on the waiting thread);
+  /// the remaining tasks still ran to completion first, so the pool is
+  /// reusable afterwards. Before this existed, a throwing task escaped
+  /// worker_loop and took the whole process down via std::terminate.
   void wait_idle();
 
   /// Run fn(begin, end) over [0, n) split into `size()*4` chunks, blocking
-  /// until completion. fn must be safe to call concurrently.
+  /// until completion. fn must be safe to call concurrently. Rethrows the
+  /// first exception any chunk threw (see wait_idle); callers that need
+  /// per-chunk isolation catch inside fn.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -48,6 +55,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr pending_error_;  ///< first task throw, for wait_idle
 };
 
 }  // namespace gx::util

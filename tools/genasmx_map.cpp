@@ -30,10 +30,26 @@
 //                          output is byte-identical either way)
 //   --no-verify            skip the index payload checksum at --index
 //                          load (header checksum is always verified)
+//   --on-bad-record MODE   abort (default) | skip | warn: what to do
+//                          with a malformed input record — abort throws,
+//                          skip/warn resync to the next record and count
+//                          it (warn also prints the one-line error)
+//   --max-read-len N       reject reads longer than N bases before
+//                          mapping (0 = unlimited)
+//   --max-batch-bytes N    close a mapping batch early once it holds N
+//                          sequence bytes (0 = unlimited)
+//   --fault SPEC           deterministic fault injection (testing), e.g.
+//                          truncate@4096, eio@rec:17, enospc@out:2;
+//                          GENASMX_FAULT env is the no-flag equivalent
+//                          (the flag wins when both are set)
 //   --list-backends        print registered backends and exit
+//
+// Exit codes: 0 success, 1 runtime failure (including any output write
+// failure — a truncated PAF is never reported as success), 2 usage.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -44,6 +60,7 @@
 #include "cli.hpp"
 #include "genasmx/engine/registry.hpp"
 #include "genasmx/io/fastx.hpp"
+#include "genasmx/io/fault.hpp"
 #include "genasmx/io/paf.hpp"
 #include "genasmx/mapper/index_io.hpp"
 #include "genasmx/pipeline/pipeline.hpp"
@@ -67,6 +84,10 @@ struct Options {
   bool single_phase = false;
   bool no_verify = false;
   bool list_backends = false;
+  std::string on_bad_record = "abort";
+  std::size_t max_read_len = 0;
+  std::size_t max_batch_bytes = 0;
+  std::string fault;  ///< fault-injection spec ("" = GENASMX_FAULT env)
 };
 
 bool parseArgs(int argc, char** argv, Options& opt) {
@@ -87,6 +108,10 @@ bool parseArgs(int argc, char** argv, Options& opt) {
   cli.flag("--single-phase", opt.single_phase);
   cli.flag("--no-verify", opt.no_verify);
   cli.flag("--list-backends", opt.list_backends);
+  cli.option("--on-bad-record", opt.on_bad_record);
+  cli.option("--max-read-len", opt.max_read_len);
+  cli.option("--max-batch-bytes", opt.max_batch_bytes);
+  cli.option("--fault", opt.fault);
   cli.positional(pos_ref);    // compat: genasmx_map ref.fa reads.fq
   cli.positional(pos_reads);
   if (!cli.parse(argc, argv)) return false;
@@ -95,6 +120,13 @@ bool parseArgs(int argc, char** argv, Options& opt) {
   if (opt.list_backends) return true;
   if (!opt.ref_path.empty() && !opt.index_path.empty()) {
     std::fprintf(stderr, "--ref and --index are mutually exclusive\n");
+    return false;
+  }
+  if (opt.on_bad_record != "abort" && opt.on_bad_record != "skip" &&
+      opt.on_bad_record != "warn") {
+    std::fprintf(stderr,
+                 "--on-bad-record must be abort, skip, or warn (got '%s')\n",
+                 opt.on_bad_record.c_str());
     return false;
   }
   return (!opt.ref_path.empty() || !opt.index_path.empty()) &&
@@ -112,7 +144,9 @@ int main(int argc, char** argv) {
         "usage: genasmx_map (--ref <reference.fa> | --index <ref.gxi>) "
         "--reads <reads.fa|fq> [--out FILE] [--backend NAME] [--threads N] "
         "[--max-candidates N] [--batch N] [--window W] [--overlap O] "
-        "[--primary-only] [--single-phase] [--no-verify] [--list-backends]\n"
+        "[--primary-only] [--single-phase] [--no-verify] "
+        "[--on-bad-record abort|skip|warn] [--max-read-len N] "
+        "[--max-batch-bytes N] [--fault SPEC] [--list-backends]\n"
         "       genasmx_map <reference.fa> <reads.fa|fq> [options]\n");
     return 2;
   }
@@ -130,6 +164,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Fault injection: --fault wins over GENASMX_FAULT; an empty spec
+  // installs nothing. The guard must outlive everything that touches
+  // I/O, so it sits above index loading.
+  std::string fault_spec = opt.fault;
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("GENASMX_FAULT")) fault_spec = env;
+  }
+  io::FaultPlan fault_plan;
+  if (!fault_spec.empty()) {
+    try {
+      fault_plan = io::FaultPlan::parse(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  const io::ScopedFaultInjection fault_guard(std::move(fault_plan));
+
   pipeline::PipelineConfig cfg;
   cfg.engine.backend = opt.backend;
   cfg.engine.threads = opt.threads;
@@ -140,6 +192,11 @@ int main(int argc, char** argv) {
   cfg.batch_reads = opt.batch;
   cfg.emit_secondary = !opt.primary_only;
   cfg.two_phase = !opt.single_phase;
+  cfg.on_bad_record = opt.on_bad_record == "skip"   ? io::OnBadRecord::kSkip
+                      : opt.on_bad_record == "warn" ? io::OnBadRecord::kWarn
+                                                    : io::OnBadRecord::kAbort;
+  cfg.max_read_len = opt.max_read_len;
+  cfg.max_batch_bytes = opt.max_batch_bytes;
 
   util::Timer timer;
   std::unique_ptr<mapper::MappedIndex> mapped;  // keeps --index storage alive
@@ -226,9 +283,23 @@ int main(int argc, char** argv) {
   util::Timer map_timer;
   try {
     io::PafWriter writer(paf_out);
-    stats = pipe->run(reads_in, writer);
+    stats = pipe->run(reads_in, writer, opt.reads_path);
+    writer.close();  // final flush + stream check: surfaces here, not in ~
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  // A PAF that did not fully reach the file is a failure, not a success
+  // with a warning: check the sink's final state before reporting.
+  if (!opt.out_path.empty()) {
+    paf_file.close();
+    if (!paf_file) {
+      std::fprintf(stderr, "error: closing %s failed (disk full?)\n",
+                   opt.out_path.c_str());
+      return 1;
+    }
+  } else if (!std::cout) {
+    std::fprintf(stderr, "error: writing PAF to stdout failed\n");
     return 1;
   }
   const double map_seconds = map_timer.seconds();
