@@ -57,24 +57,30 @@ struct FlowTiming {
   double seconds = 0;
   double reads_per_sec = 0;
   std::size_t records = 0;
-  pipeline::StageTimes stages{};  ///< breakdown of the timed pass
+  pipeline::StageTimes stages{};        ///< breakdown of the timed pass
+  pipeline::PrefilterStats prefilter{}; ///< prefilter work of the timed pass
+  std::uint64_t prefilter_steady_grow_events = 0;  ///< must be 0 once warm
 };
 
 FlowTiming timeFlow(const std::string& genome,
                     const std::vector<io::FastxRecord>& reads,
                     bool emit_secondary, bool two_phase,
-                    bool batched_distance = true) {
+                    bool batched_distance = true,
+                    pipeline::PrefilterMode prefilter =
+                        pipeline::PrefilterMode::kOff) {
   pipeline::PipelineConfig pcfg;
   pcfg.engine.backend = "windowed-improved";
   pcfg.engine.threads = 1;  // single-thread: stable, host-comparable
   pcfg.emit_secondary = emit_secondary;
   pcfg.two_phase = two_phase;
   pcfg.batched_distance = batched_distance;
+  pcfg.prefilter.mode = prefilter;
   pipeline::MappingPipeline pipe(
       refmodel::Reference("bench_ref", std::string(genome)), pcfg);
   // Warm pass (index/file-cache/arena first-touch), then the timed pass.
   (void)pipe.mapBatch(reads);
   const pipeline::StageTimes warm_stages = pipe.stageTimes();
+  const pipeline::PrefilterStats warm_pf = pipe.prefilterStats();
   util::Timer t;
   const auto records = pipe.mapBatch(reads);
   FlowTiming ft;
@@ -84,6 +90,19 @@ FlowTiming timeFlow(const std::string& genome,
   ft.records = records.size();
   ft.stages = pipe.stageTimes() - warm_stages;
   ft.stages.index_build_s = warm_stages.index_build_s;  // charged once
+  const pipeline::PrefilterStats& pf = pipe.prefilterStats();
+  ft.prefilter.reads_sketched = pf.reads_sketched - warm_pf.reads_sketched;
+  ft.prefilter.windows_sketched =
+      pf.windows_sketched - warm_pf.windows_sketched;
+  ft.prefilter.candidates_seen = pf.candidates_seen - warm_pf.candidates_seen;
+  ft.prefilter.candidates_filtered =
+      pf.candidates_filtered - warm_pf.candidates_filtered;
+  ft.prefilter.sequence_scans = pf.sequence_scans - warm_pf.sequence_scans;
+  ft.prefilter.scratch_grow_events = pf.scratch_grow_events;
+  // Sketch scratch growth during the timed (steady-state) pass: the
+  // prefilter twin of steady_scratch_allocs_per_window.
+  ft.prefilter_steady_grow_events =
+      pf.scratch_grow_events - warm_pf.scratch_grow_events;
   return ft;
 }
 
@@ -409,12 +428,25 @@ int runTracked(bench::WorkloadConfig cfg) {
   const FlowTiming two = timeFlow(w.genome, reads, false, true);
   const FlowTiming two_scalar_p1 =
       timeFlow(w.genome, reads, false, true, /*batched_distance=*/false);
+  const FlowTiming two_prefilter =
+      timeFlow(w.genome, reads, false, true, /*batched_distance=*/true,
+               pipeline::PrefilterMode::kSketch);
   const double speedup =
       two.seconds > 0 ? full.seconds / two.seconds : 0;
   const double p1_speedup = two.stages.phase1_distance_s > 0
                                 ? two_scalar_p1.stages.phase1_distance_s /
                                       two.stages.phase1_distance_s
                                 : 0;
+  const double pf_filtered_fraction =
+      two_prefilter.prefilter.candidates_seen > 0
+          ? static_cast<double>(two_prefilter.prefilter.candidates_filtered) /
+                static_cast<double>(two_prefilter.prefilter.candidates_seen)
+          : 0;
+  const double pf_p1_speedup =
+      two_prefilter.stages.phase1_distance_s > 0
+          ? two.stages.phase1_distance_s /
+                two_prefilter.stages.phase1_distance_s
+          : 0;
 
   std::printf("\npipeline (1 thread, windowed-improved):\n");
   std::printf("  full flow (secondaries)        %8.3fs %10.1f reads/s  %zu records\n",
@@ -426,10 +458,25 @@ int runTracked(bench::WorkloadConfig cfg) {
   std::printf("  two-phase, scalar phase 1      %8.3fs %10.1f reads/s  %zu records\n",
               two_scalar_p1.seconds, two_scalar_p1.reads_per_sec,
               two_scalar_p1.records);
+  std::printf("  two-phase + sketch prefilter   %8.3fs %10.1f reads/s  %zu records\n",
+              two_prefilter.seconds, two_prefilter.reads_per_sec,
+              two_prefilter.records);
   std::printf("  two-phase speedup vs full      %8.2fx\n", speedup);
   std::printf("  batched phase-1 speedup        %8.2fx (%.3fs -> %.3fs)\n",
               p1_speedup, two_scalar_p1.stages.phase1_distance_s,
               two.stages.phase1_distance_s);
+  std::printf("  prefilter: %llu/%llu non-best candidates dropped (%.1f%%), "
+              "sketch %.3fs, phase-1 %.3fs -> %.3fs (%.2fx), steady grow "
+              "events %llu (must be 0)\n",
+              static_cast<unsigned long long>(
+                  two_prefilter.prefilter.candidates_filtered),
+              static_cast<unsigned long long>(
+                  two_prefilter.prefilter.candidates_seen),
+              100.0 * pf_filtered_fraction, two_prefilter.stages.sketch_s,
+              two.stages.phase1_distance_s,
+              two_prefilter.stages.phase1_distance_s, pf_p1_speedup,
+              static_cast<unsigned long long>(
+                  two_prefilter.prefilter_steady_grow_events));
   std::printf("  two-phase stage breakdown: seed+chain %.3fs, "
               "phase1-distance %.3fs, phase2-traceback %.3fs, output %.3fs\n",
               two.stages.seed_chain_s, two.stages.phase1_distance_s,
@@ -525,6 +572,24 @@ int runTracked(bench::WorkloadConfig cfg) {
         .num("phase1_distance_seconds", two.stages.phase1_distance_s)
         .num("phase2_traceback_seconds", two.stages.traceback_s)
         .num("output_seconds", two.stages.output_s);
+    bench::JsonObject candidate_prefilter;
+    candidate_prefilter
+        .num("candidates_seen", two_prefilter.prefilter.candidates_seen)
+        .num("candidates_filtered",
+             two_prefilter.prefilter.candidates_filtered)
+        .num("filtered_fraction", pf_filtered_fraction)
+        .num("reads_sketched", two_prefilter.prefilter.reads_sketched)
+        .num("windows_sketched", two_prefilter.prefilter.windows_sketched)
+        .num("sketch_seconds", two_prefilter.stages.sketch_s)
+        .num("phase1_seconds_off", two.stages.phase1_distance_s)
+        .num("phase1_seconds_on", two_prefilter.stages.phase1_distance_s)
+        .num("speedup_phase1_on_vs_off", pf_p1_speedup)
+        .num("reads_per_sec_off", two.reads_per_sec)
+        .num("reads_per_sec_on", two_prefilter.reads_per_sec)
+        .num("reads_per_sec_delta",
+             two_prefilter.reads_per_sec - two.reads_per_sec)
+        .num("steady_grow_events",
+             two_prefilter.prefilter_steady_grow_events);
     bench::JsonObject root;
     root.str("bench", "pipeline")
         .str("mode", "quick")
@@ -542,7 +607,9 @@ int runTracked(bench::WorkloadConfig cfg) {
         .obj("pipeline_primary_single_phase", flow(single))
         .obj("pipeline_primary_two_phase", flow(two))
         .obj("pipeline_primary_two_phase_scalar_p1", flow(two_scalar_p1))
+        .obj("pipeline_primary_two_phase_prefilter", flow(two_prefilter))
         .obj("stage_breakdown", stage_breakdown)
+        .obj("candidate_prefilter", candidate_prefilter)
         .num("speedup_two_phase_vs_full", speedup)
         .num("speedup_batched_phase1_vs_scalar", p1_speedup)
         .num("peak_rss_bytes", bench::peakRssBytes());

@@ -35,8 +35,15 @@ Mapper::Mapper(IndexView view, MapperConfig cfg) : cfg_(cfg), view_(view) {
 }
 
 std::vector<Candidate> Mapper::map(std::string_view read) const {
+  std::vector<Minimizer> mins;
+  return map(read, mins);
+}
+
+std::vector<Candidate> Mapper::map(std::string_view read,
+                                   std::vector<Minimizer>& mins_out) const {
   std::vector<Candidate> out;
-  const auto read_mins = extractMinimizers(read, cfg_.k, cfg_.w);
+  mins_out = extractMinimizers(read, cfg_.k, cfg_.w);
+  const auto& read_mins = mins_out;
   if (read_mins.empty()) return out;
   const refmodel::Reference& ref = reference();
 

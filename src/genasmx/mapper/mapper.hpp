@@ -26,6 +26,7 @@
 #include "genasmx/mapper/chain.hpp"
 #include "genasmx/mapper/index.hpp"
 #include "genasmx/mapper/index_view.hpp"
+#include "genasmx/mapper/minimizer.hpp"
 #include "genasmx/refmodel/reference.hpp"
 
 namespace gx::util {
@@ -92,6 +93,12 @@ class Mapper {
 
   /// All candidate locations for `read`, best chain first.
   [[nodiscard]] std::vector<Candidate> map(std::string_view read) const;
+
+  /// Same, but also hands the caller the read's extracted minimizers (the
+  /// single sequence scan seeding already performs) so downstream stages —
+  /// e.g. the sketch prefilter — can reuse them instead of rescanning.
+  [[nodiscard]] std::vector<Candidate> map(
+      std::string_view read, std::vector<Minimizer>& mins_out) const;
 
   /// The reference text of a candidate window.
   [[nodiscard]] std::string_view candidateText(const Candidate& c) const {

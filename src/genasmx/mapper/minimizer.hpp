@@ -23,6 +23,29 @@ struct Minimizer {
   return x ^ (x >> 31);
 }
 
+/// Reusable working state for extractMinimizers. Holds the window ring
+/// buffer so repeated extractions allocate nothing once warm; capacity
+/// growth is counted so callers can assert the steady-state contract.
+class MinimizerScratch {
+ public:
+  /// Number of times any internal buffer had to grow. Constant across
+  /// calls once the scratch has seen the largest (k, w) it will serve.
+  [[nodiscard]] std::uint64_t growEvents() const noexcept {
+    return grow_events_;
+  }
+
+ private:
+  friend void extractMinimizers(std::string_view, int, int, std::size_t,
+                                std::vector<Minimizer>&, MinimizerScratch&);
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t pos;
+    bool reverse;
+  };
+  std::vector<Entry> ring_;
+  std::uint64_t grow_events_ = 0;
+};
+
 /// Extract the minimizers of `seq` for k-mer size k (<= 31) and window w.
 /// Consecutive duplicate (key, pos) picks are emitted once.
 ///
@@ -37,5 +60,11 @@ struct Minimizer {
 /// not it was emitted), which one warm-up window reconstructs.
 [[nodiscard]] std::vector<Minimizer> extractMinimizers(
     std::string_view seq, int k, int w, std::size_t emit_from = 0);
+
+/// Allocation-free variant: clears `out` and appends the minimizers,
+/// reusing both `out`'s capacity and the window ring in `scratch`.
+void extractMinimizers(std::string_view seq, int k, int w,
+                       std::size_t emit_from, std::vector<Minimizer>& out,
+                       MinimizerScratch& scratch);
 
 }  // namespace gx::mapper

@@ -31,6 +31,17 @@ mapper::Mapper buildMapperTimed(refmodel::Reference ref,
 struct ReadWork {
   std::vector<mapper::Candidate> cands;
   std::string rc;  ///< reverse complement, filled iff a candidate needs it
+  /// The read's minimizers, captured from the seeding scan so the sketch
+  /// prefilter never rescans the read. Canonical keys are strand-
+  /// symmetric, so one set serves forward and reverse candidates alike.
+  std::vector<mapper::Minimizer> mins;
+};
+
+/// Per-chunk prefilter accounting, folded into the pipeline's totals
+/// under the sketch-pool mutex when the chunk releases its worker.
+struct PrefilterLocal {
+  PrefilterStats stats;
+  double seconds = 0;
 };
 
 /// minimap2-style confidence from best (s1) vs second-best (s2)
@@ -202,12 +213,42 @@ MappingPipeline::MappingPipeline(refmodel::Reference ref, PipelineConfig cfg)
     : cfg_(std::move(cfg)),
       engine_(cfg_.engine),
       mapper_(buildMapperTimed(std::move(ref), cfg_.mapper, &engine_.pool(),
-                               times_.index_build_s)) {}
+                               times_.index_build_s)) {
+  buildPrefilterTable();
+}
 
 MappingPipeline::MappingPipeline(mapper::IndexView index, PipelineConfig cfg)
     : cfg_(std::move(cfg)),
       engine_(cfg_.engine),
-      mapper_(index, cfg_.mapper) {}
+      mapper_(index, cfg_.mapper) {
+  buildPrefilterTable();
+}
+
+void MappingPipeline::buildPrefilterTable() {
+  if (cfg_.prefilter.mode != PrefilterMode::kSketch) return;
+  util::Timer t;
+  const mapper::IndexView& idx = mapper_.index();
+  const std::size_t n = idx.size();
+  const std::uint64_t* const keys = idx.keysData();
+  const std::uint64_t* const values = idx.valuesData();
+  // Values encode (global position << 1) | strand; every kept minimizer
+  // occupies a distinct position, so sorting (position, key) pairs is a
+  // pure permutation of the index — both index sources (in-memory build
+  // and mmap'd file) expose identical arrays, hence identical tables.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<std::uint32_t>(values[i] >> 1), keys[i]);
+  }
+  std::sort(entries.begin(), entries.end());
+  pf_positions_.resize(n);
+  pf_keys_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pf_positions_[i] = entries[i].first;
+    pf_keys_[i] = entries[i].second;
+  }
+  times_.index_build_s += t.seconds();
+}
 
 MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
                                  PipelineConfig cfg)
@@ -230,7 +271,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       reads.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           try {
-            auto cands = mapper_.map(reads[i].seq);
+            auto cands = mapper_.map(reads[i].seq, work[i].mins);
             if (cands.size() > cfg_.max_candidates) {
               cands.resize(cfg_.max_candidates);
             }
@@ -244,6 +285,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
           } catch (...) {
             work[i].cands.clear();
             work[i].rc.clear();
+            work[i].mins.clear();
             read_status[i] = common::Status::fromCurrentException();
             failed[i] = 1;
           }
@@ -257,6 +299,115 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   const auto queryView = [&](std::size_t i, const mapper::Candidate& c) {
     return c.reverse ? std::string_view(work[i].rc)
                      : std::string_view(reads[i].seq);
+  };
+
+  // ---- sketch prefilter (phase 1, two-phase primary-only flow only) ----
+  // After the chain-best alignment freezes a read's score cap, the read's
+  // sketch (built from the minimizers the seeding scan already extracted)
+  // is calibrated against the chain-best window's sketch; a non-best
+  // candidate below keep_ratio of that calibration is dropped before it
+  // reaches the distance kernels. Decisions depend only on sequences and
+  // the frozen cap's existence, so batched/scalar scoring and the
+  // isolation-rerun path all drop the same candidates.
+  const bool prefilter_on =
+      cfg_.prefilter.mode == PrefilterMode::kSketch && !cfg_.emit_secondary &&
+      cfg_.two_phase;
+  const sketch::SketchParams& sketch_params = cfg_.prefilter.sketch;
+  const int sketch_k = mapper_.config().k;
+
+  // Sketch a candidate window straight from the position-sorted index
+  // table: binary-search the window's global k-mer-start range and minhash
+  // the contiguous key subrange — no sequence is touched. Table entries
+  // are the reference's *globally* extracted, occurrence-capped
+  // minimizers, so interior picks match a local window scan (minimizer
+  // locality) while ~(w+k) bp of edge effects and repeat masking apply to
+  // the chain-best and non-best windows alike — the relative keep_ratio
+  // test compares like with like.
+  const auto sketchCandidateWindow = [&](const mapper::Candidate& cand,
+                                         SketchWorker& wkr) {
+    const auto& contig = mapper_.reference().contig(cand.contig);
+    const std::uint64_t gb = contig.offset + cand.ref_begin;
+    const std::uint64_t ge = contig.offset + cand.ref_end;
+    const auto lo_pos = static_cast<std::uint32_t>(gb);
+    // Last k-mer fully inside the window starts at ge - k.
+    const auto hi_pos = static_cast<std::uint32_t>(
+        ge >= gb + static_cast<std::uint64_t>(sketch_k)
+            ? ge - static_cast<std::uint64_t>(sketch_k) + 1
+            : gb);
+    const auto first =
+        std::lower_bound(pf_positions_.begin(), pf_positions_.end(), lo_pos);
+    const auto last = std::lower_bound(first, pf_positions_.end(), hi_pos);
+    const auto off = static_cast<std::size_t>(first - pf_positions_.begin());
+    sketch::sketchKeys(pf_keys_.data() + off,
+                       static_cast<std::size_t>(last - first), sketch_params,
+                       wkr.scratch, wkr.window_sketch);
+  };
+
+  // Lease a per-chunk sketch worker from the spare pool (allocates only
+  // until the pool has one worker per pool thread).
+  const auto leaseSketchWorker = [&]() -> std::unique_ptr<SketchWorker> {
+    if (!prefilter_on) return nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sketch_mu_);
+      if (!sketch_spares_.empty()) {
+        auto w = std::move(sketch_spares_.back());
+        sketch_spares_.pop_back();
+        return w;
+      }
+    }
+    return std::make_unique<SketchWorker>();
+  };
+  const auto releaseSketchWorker = [&](std::unique_ptr<SketchWorker> w,
+                                       std::uint64_t grow_before,
+                                       std::uint64_t scans_before,
+                                       const PrefilterLocal& local) {
+    if (!w) return;
+    std::lock_guard<std::mutex> lock(sketch_mu_);
+    prefilter_stats_.reads_sketched += local.stats.reads_sketched;
+    prefilter_stats_.windows_sketched += local.stats.windows_sketched;
+    prefilter_stats_.candidates_seen += local.stats.candidates_seen;
+    prefilter_stats_.candidates_filtered += local.stats.candidates_filtered;
+    prefilter_stats_.sequence_scans +=
+        w->scratch.sequenceScans() - scans_before;
+    prefilter_stats_.scratch_grow_events +=
+        w->scratch.growEvents() - grow_before;
+    times_.sketch_s += local.seconds;
+    sketch_spares_.push_back(std::move(w));
+  };
+
+  // Similarity threshold below which read i's non-best candidates are
+  // dropped; < 0 disables filtering for this read (no frozen cap, too few
+  // minimizers, or a signal-free chain-best calibration).
+  const auto prefilterThreshold = [&](std::size_t i, int cap,
+                                      SketchWorker& wkr,
+                                      PrefilterLocal& local) -> double {
+    if (cap < 0) return -1.0;
+    if (work[i].mins.size() < cfg_.prefilter.min_minimizers) return -1.0;
+    util::Timer t;
+    sketch::sketchMinimizers(work[i].mins.data(), work[i].mins.size(),
+                             sketch_params, wkr.scratch, wkr.read_sketch);
+    sketchCandidateWindow(work[i].cands[0], wkr);
+    const double best_est =
+        sketch::estimateSimilarity(wkr.read_sketch, wkr.window_sketch);
+    local.seconds += t.seconds();
+    ++local.stats.reads_sketched;
+    ++local.stats.windows_sketched;
+    if (best_est < cfg_.prefilter.min_best_similarity) return -1.0;
+    return cfg_.prefilter.keep_ratio * best_est;
+  };
+  const auto prefilterDrop = [&](const mapper::Candidate& cand, double thr,
+                                 SketchWorker& wkr,
+                                 PrefilterLocal& local) -> bool {
+    if (thr < 0) return false;
+    util::Timer t;
+    sketchCandidateWindow(cand, wkr);
+    const double est =
+        sketch::estimateSimilarity(wkr.read_sketch, wkr.window_sketch);
+    local.seconds += t.seconds();
+    ++local.stats.windows_sketched;
+    if (est >= thr) return false;
+    ++local.stats.candidates_filtered;
+    return true;
   };
 
   std::vector<io::PafRecord> out;
@@ -305,6 +456,12 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       engine_.pool().parallel_for(
           reads.size(), [&](std::size_t begin, std::size_t end) {
             bool chunk_ok = true;
+            auto sketch_worker = leaseSketchWorker();
+            const std::uint64_t sketch_grow_before =
+                sketch_worker ? sketch_worker->scratch.growEvents() : 0;
+            const std::uint64_t sketch_scans_before =
+                sketch_worker ? sketch_worker->scratch.sequenceScans() : 0;
+            PrefilterLocal prefilter_local;
             {
               engine::AlignmentEngine::AlignerLease aligner(engine_);
               try {
@@ -346,7 +503,19 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                   for (std::size_t i = begin; i < end; ++i) {
                     const auto& cands = work[i].cands;
                     const int cap = picks[i].scoreCap();
+                    double thr = -1.0;
+                    if (sketch_worker && cands.size() > 1) {
+                      thr = prefilterThreshold(i, cap, *sketch_worker,
+                                               prefilter_local);
+                    }
                     for (std::size_t c = 1; c < cands.size(); ++c) {
+                      if (sketch_worker) {
+                        ++prefilter_local.stats.candidates_seen;
+                        if (prefilterDrop(cands[c], thr, *sketch_worker,
+                                          prefilter_local)) {
+                          continue;
+                        }
+                      }
                       tasks.push_back(
                           {targetView(cands[c]), queryView(i, cands[c]), cap});
                       task_cand.emplace_back(i, c);
@@ -367,6 +536,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                   for (std::size_t i = begin; i < end; ++i) {
                     Pick& p = picks[i];
                     const auto& cands = work[i].cands;
+                    double thr = -1.0;
                     for (std::size_t c = 0; c < cands.size(); ++c) {
                       const auto target = targetView(cands[c]);
                       const auto query = queryView(i, cands[c]);
@@ -377,7 +547,22 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                                    static_cast<int>(
                                        chain_best[i].cigar.editDistance()));
                         }
+                        // Filter decisions use the cap as frozen right
+                        // here — the same cap the batched mode uses — so
+                        // both modes drop identical candidates.
+                        if (sketch_worker && cands.size() > 1) {
+                          thr = prefilterThreshold(i, p.scoreCap(),
+                                                   *sketch_worker,
+                                                   prefilter_local);
+                        }
                         continue;
+                      }
+                      if (sketch_worker) {
+                        ++prefilter_local.stats.candidates_seen;
+                        if (prefilterDrop(cands[c], thr, *sketch_worker,
+                                          prefilter_local)) {
+                          continue;
+                        }
                       }
                       const int d =
                           aligner->distance(target, query, p.scoreCap());
@@ -393,41 +578,59 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                 chunk_ok = false;
               }
             }
-            if (chunk_ok) return;
-            // Isolation rerun: per-read scalar scoring through the
-            // engine's single-pair entry points (which construct fresh
-            // aligners and never recycle one that threw). The dynamic
-            // scalar cap and the frozen batched cap emit identical
-            // records (Pick::scoreCap's saturation argument), so a
-            // recovered read is byte-identical to a never-failed one. A
-            // read that still throws degrades to its chain-only record.
-            for (std::size_t i = begin; i < end; ++i) {
-              picks[i] = Pick{};
-              chain_best[i] = common::AlignmentResult{};
-              const auto& cands = work[i].cands;
-              try {
-                Pick& p = picks[i];
-                for (std::size_t c = 0; c < cands.size(); ++c) {
-                  const auto target = targetView(cands[c]);
-                  const auto query = queryView(i, cands[c]);
-                  if (c == 0) {
-                    chain_best[i] = engine_.align(target, query);
-                    if (chain_best[i].ok) {
-                      p.update(0, static_cast<int>(
-                                      chain_best[i].cigar.editDistance()));
-                    }
-                    continue;
-                  }
-                  const int d = engine_.distance(target, query, p.scoreCap());
-                  if (d >= 0) p.update(static_cast<int>(c), d);
-                }
-              } catch (...) {
+            if (!chunk_ok) {
+              // Isolation rerun: per-read scalar scoring through the
+              // engine's single-pair entry points (which construct fresh
+              // aligners and never recycle one that threw). The dynamic
+              // scalar cap and the frozen batched cap emit identical
+              // records (Pick::scoreCap's saturation argument), and the
+              // sketch filter is a pure function of the sequences, so a
+              // recovered read is byte-identical to a never-failed one. A
+              // read that still throws degrades to its chain-only record.
+              for (std::size_t i = begin; i < end; ++i) {
                 picks[i] = Pick{};
                 chain_best[i] = common::AlignmentResult{};
-                read_status[i] = common::Status::fromCurrentException();
-                failed[i] = 1;
+                const auto& cands = work[i].cands;
+                try {
+                  Pick& p = picks[i];
+                  double thr = -1.0;
+                  for (std::size_t c = 0; c < cands.size(); ++c) {
+                    const auto target = targetView(cands[c]);
+                    const auto query = queryView(i, cands[c]);
+                    if (c == 0) {
+                      chain_best[i] = engine_.align(target, query);
+                      if (chain_best[i].ok) {
+                        p.update(0, static_cast<int>(
+                                        chain_best[i].cigar.editDistance()));
+                      }
+                      if (sketch_worker && cands.size() > 1) {
+                        thr = prefilterThreshold(i, p.scoreCap(),
+                                                 *sketch_worker,
+                                                 prefilter_local);
+                      }
+                      continue;
+                    }
+                    if (sketch_worker) {
+                      ++prefilter_local.stats.candidates_seen;
+                      if (prefilterDrop(cands[c], thr, *sketch_worker,
+                                        prefilter_local)) {
+                        continue;
+                      }
+                    }
+                    const int d =
+                        engine_.distance(target, query, p.scoreCap());
+                    if (d >= 0) p.update(static_cast<int>(c), d);
+                  }
+                } catch (...) {
+                  picks[i] = Pick{};
+                  chain_best[i] = common::AlignmentResult{};
+                  read_status[i] = common::Status::fromCurrentException();
+                  failed[i] = 1;
+                }
               }
             }
+            releaseSketchWorker(std::move(sketch_worker), sketch_grow_before,
+                                sketch_scans_before, prefilter_local);
           });
       times_.phase1_distance_s += stage_timer.seconds();
       // Phase 2 — a traceback alignment only for winners that are not

@@ -22,7 +22,10 @@
 // nothing beyond the best and second-best distances.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,8 +34,36 @@
 #include "genasmx/io/paf.hpp"
 #include "genasmx/mapper/mapper.hpp"
 #include "genasmx/refmodel/reference.hpp"
+#include "genasmx/sketch/sketch.hpp"
 
 namespace gx::pipeline {
+
+/// Phase-1 candidate prefilter mode (two-phase primary-only flow).
+enum class PrefilterMode {
+  kOff,    ///< score every candidate (default; PAF byte-identical to PR-8)
+  kSketch  ///< weighted-minhash similarity screen before distanceBatch
+};
+
+/// Sketch-prefilter knobs. The filter is *relative*: after the
+/// chain-best alignment freezes the read's score cap, the read sketch is
+/// compared against the chain-best window's sketch to calibrate what
+/// "similar at this read's error rate" looks like, and a non-best
+/// candidate is dropped iff its own estimated similarity falls below
+/// keep_ratio of that calibration value. An absolute threshold can't
+/// work here: a diverged-repeat candidate shares most of the read's
+/// k-mers yet still loses by far more than the cap.
+struct PrefilterConfig {
+  PrefilterMode mode = PrefilterMode::kOff;
+  sketch::SketchParams sketch{};
+  /// Drop a non-best candidate iff est < keep_ratio * best_est. Lower =
+  /// more conservative (fewer drops).
+  double keep_ratio = 0.55;
+  /// Calibration floor: if the chain-best window itself estimates below
+  /// this, the read's sketch carries no signal — filter nothing.
+  double min_best_similarity = 0.02;
+  /// Reads with fewer minimizers than this are never filtered.
+  std::size_t min_minimizers = 8;
+};
 
 struct PipelineConfig {
   engine::EngineConfig engine{};  ///< backend, threads, aligner knobs
@@ -82,6 +113,15 @@ struct PipelineConfig {
   /// output is independent of batch boundaries, so any value emits
   /// byte-identical PAF.
   std::size_t max_batch_bytes = 0;
+  /// Phase-1 sketch prefilter (two-phase primary-only flow only): drop
+  /// candidates whose estimated read~window similarity says they cannot
+  /// beat the frozen score cap, before they reach distanceBatch. Off by
+  /// default — may suppress true runner-up distances, so PAF with the
+  /// filter on is not guaranteed byte-identical to the unfiltered flow
+  /// (recall is bounded by tests instead). Filter decisions use the
+  /// frozen post-chain-best cap in every path, so batched vs scalar
+  /// scoring and any thread count stay byte-identical to *each other*.
+  PrefilterConfig prefilter{};
 };
 
 struct PipelineStats {
@@ -127,15 +167,35 @@ struct StageTimes {
   double index_build_s = 0;     ///< reference indexing (constructor)
   double seed_chain_s = 0;      ///< minimizer seeding + chaining
   double phase1_distance_s = 0; ///< two-phase phase 1 (distance scoring)
+  /// Sketch-prefilter CPU seconds, summed across workers. A *sub-stage*
+  /// of phase 1 (already inside phase1_distance_s, not additive with it);
+  /// 0 unless the prefilter is on.
+  double sketch_s = 0;
   double traceback_s = 0;       ///< full traceback alignment batches
   double output_s = 0;          ///< record construction + PAF writing
   friend StageTimes operator-(const StageTimes& a, const StageTimes& b) {
     return {a.index_build_s - b.index_build_s,
             a.seed_chain_s - b.seed_chain_s,
             a.phase1_distance_s - b.phase1_distance_s,
+            a.sketch_s - b.sketch_s,
             a.traceback_s - b.traceback_s,
             a.output_s - b.output_s};
   }
+};
+
+/// Sketch-prefilter accounting, accumulated across every mapBatch()/
+/// run() call. sequence_scans counts full-sequence minimizer scans the
+/// sketch layer performed; the pipeline performs none — read sketches
+/// reuse the minimizers the seeding scan already extracted, and window
+/// sketches are served from the position-sorted index table — so this
+/// counter staying 0 proves every sequence is scanned exactly once.
+struct PrefilterStats {
+  std::uint64_t reads_sketched = 0;      ///< reads with an active filter
+  std::uint64_t windows_sketched = 0;    ///< candidate windows sketched
+  std::uint64_t candidates_seen = 0;     ///< non-chain-best candidates seen
+  std::uint64_t candidates_filtered = 0; ///< dropped before distanceBatch
+  std::uint64_t sequence_scans = 0;      ///< sketch-layer sequence scans
+  std::uint64_t scratch_grow_events = 0; ///< buffer growth; constant once warm
 };
 
 class MappingPipeline {
@@ -205,13 +265,43 @@ class MappingPipeline {
     return times_;
   }
 
+  /// Sketch-prefilter accounting accumulated across every mapBatch()/
+  /// run() call; all zeros unless config().prefilter.mode is kSketch.
+  [[nodiscard]] const PrefilterStats& prefilterStats() const noexcept {
+    return prefilter_stats_;
+  }
+
  private:
+  /// Per-worker sketch state, leased per chunk from a spare pool (same
+  /// pattern as the engine's AlignerLease) so phase-1 workers never share
+  /// scratch and steady-state batches allocate nothing.
+  struct SketchWorker {
+    sketch::SketchScratch scratch;
+    sketch::SequenceSketch read_sketch;
+    sketch::SequenceSketch window_sketch;
+  };
+
+  /// Re-sort the index's (key -> position) arrays into a position-sorted
+  /// (position -> key) table when the sketch prefilter is on; no-op
+  /// otherwise. Charged to StageTimes::index_build_s.
+  void buildPrefilterTable();
+
   PipelineConfig cfg_;
   engine::AlignmentEngine engine_;  ///< before mapper_: its pool builds the index
   StageTimes times_;                ///< before mapper_: ctor times the build
   mapper::Mapper mapper_;
   PipelineStats stats_;
   RunReport report_;
+  PrefilterStats prefilter_stats_;
+  std::mutex sketch_mu_;  ///< guards sketch_spares_ + prefilter stat folds
+  std::vector<std::unique_ptr<SketchWorker>> sketch_spares_;
+  /// The reference's kept minimizers re-sorted by global position
+  /// (parallel arrays, built once when the prefilter is on): a candidate
+  /// window's minimizer keys are the contiguous pf_keys_ subrange whose
+  /// pf_positions_ fall inside the window, found by binary search — so
+  /// window sketches cost O(window minimizers) and never rescan sequence.
+  std::vector<std::uint32_t> pf_positions_;
+  std::vector<std::uint64_t> pf_keys_;
 };
 
 }  // namespace gx::pipeline

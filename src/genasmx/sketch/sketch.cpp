@@ -1,0 +1,118 @@
+#include "genasmx/sketch/sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gx::sketch {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+void validate(const SketchParams& params) {
+  if (params.slots < 8 || params.slots > 4096 ||
+      (params.slots & (params.slots - 1)) != 0) {
+    throw std::invalid_argument(
+        "sketch: slots must be a power of two in [8, 4096]");
+  }
+}
+
+template <typename T>
+void reserveCounted(std::vector<T>& v, std::size_t n,
+                    std::uint64_t& grow_events) {
+  if (v.capacity() < n) {
+    ++grow_events;
+    v.reserve(n);
+  }
+}
+
+}  // namespace
+
+void sketchKeys(const std::uint64_t* keys, std::size_t count,
+                const SketchParams& params, SketchScratch& scratch,
+                SequenceSketch& out) {
+  validate(params);
+  out.reset(params.slots);
+  if (count == 0) return;
+
+  // Sort keys so equal keys form runs; the j-th occurrence of a key is
+  // hashed as element (key, j), which is what makes the sketch weighted.
+  reserveCounted(scratch.keys_, count, scratch.grow_events_);
+  scratch.keys_.assign(keys, keys + count);
+  std::sort(scratch.keys_.begin(), scratch.keys_.end());
+
+  const std::uint64_t slot_mask = static_cast<std::uint64_t>(params.slots) - 1;
+  std::uint64_t* const sig = out.sig_.data();
+  std::size_t run = 0;
+  std::uint64_t base = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (run == 0 || scratch.keys_[i] != scratch.keys_[i - 1]) {
+      base = mapper::hash64(scratch.keys_[i] ^ params.seed);
+      run = 0;
+    }
+    const std::uint64_t h =
+        (run == 0) ? base : mapper::hash64(base + kGolden * run);
+    ++run;
+    const std::size_t slot = static_cast<std::size_t>(h & slot_mask);
+    if (h < sig[slot]) sig[slot] = h;
+  }
+  out.elements_ = count;
+
+  // Densify: every empty slot borrows from the nearest filled slot to
+  // its left (circularly), so signatures stay comparable slot-for-slot
+  // regardless of which slots the elements happened to land in.
+  const std::size_t slots = out.sig_.size();
+  std::size_t first = 0;
+  while (sig[first] == SequenceSketch::kEmpty) ++first;
+  std::uint64_t carry = sig[first];
+  for (std::size_t step = 1; step < slots; ++step) {
+    const std::size_t i = (first + step) & slot_mask;
+    if (sig[i] == SequenceSketch::kEmpty) {
+      sig[i] = carry;
+    } else {
+      carry = sig[i];
+    }
+  }
+}
+
+void sketchMinimizers(const mapper::Minimizer* mins, std::size_t count,
+                      const SketchParams& params, SketchScratch& scratch,
+                      SequenceSketch& out) {
+  // Gather the bare keys, then defer to the key-multiset core. The
+  // gather buffer is keys_ itself: sketchKeys re-assigns it from the
+  // caller pointer, so hand it a second scratch-free staging area.
+  validate(params);
+  if (count == 0) {
+    out.reset(params.slots);
+    return;
+  }
+  reserveCounted(scratch.key_stage_, count, scratch.grow_events_);
+  scratch.key_stage_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    scratch.key_stage_.push_back(mins[i].key);
+  }
+  sketchKeys(scratch.key_stage_.data(), count, params, scratch, out);
+}
+
+void sketchWindow(std::string_view seq, int k, int w,
+                  const SketchParams& params, SketchScratch& scratch,
+                  SequenceSketch& out) {
+  mapper::extractMinimizers(seq, k, w, 0, scratch.mins_, scratch.min_scratch_);
+  ++scratch.sequence_scans_;
+  sketchMinimizers(scratch.mins_.data(), scratch.mins_.size(), params, scratch,
+                   out);
+}
+
+double estimateSimilarity(const SequenceSketch& a, const SequenceSketch& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  if (a.slots() != b.slots()) {
+    throw std::invalid_argument("sketch: comparing different slot counts");
+  }
+  const auto& sa = a.signature();
+  const auto& sb = b.signature();
+  int equal = 0;
+  for (std::size_t i = 0; i < sa.size(); ++i) equal += (sa[i] == sb[i]);
+  return static_cast<double>(equal) / static_cast<double>(sa.size());
+}
+
+}  // namespace gx::sketch

@@ -1,0 +1,129 @@
+#pragma once
+// k-mer weighted-minhash sketching for cheap read~window similarity
+// estimates (Broder 1997 resemblance; Ioffe 2010 weighted sets; Li 2015
+// densified one-permutation hashing; Ondov et al. 2016 "Mash" applies
+// the same estimator to genomic k-mer sets).
+//
+// A sequence is reduced to its canonical (w,k)-minimizer multiset, each
+// (key, occurrence-index) element is hashed once, and the hashes are
+// scattered into S buckets keeping the minimum per bucket; empty buckets
+// borrow circularly from the next filled one ("densification") so two
+// sketches are always comparable slot-for-slot. The fraction of equal
+// slots is an unbiased estimate of the weighted Jaccard similarity of
+// the two minimizer multisets. Occurrence indices make the sketch
+// multiplicity-aware: a tandem repeat of 10 copies and one of 2 copies
+// share only the first two occurrences of each k-mer, so collapsed-set
+// MinHash's blindness to copy number is avoided.
+//
+// All working state lives in caller-owned SketchScratch / SequenceSketch
+// objects so steady-state sketching performs zero heap allocations;
+// capacity growth is counted for the zero-alloc tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "genasmx/mapper/minimizer.hpp"
+
+namespace gx::sketch {
+
+struct SketchParams {
+  /// Signature slots (power of two in [8, 4096]). More slots lowers the
+  /// estimator's variance (stddev ~ 1/sqrt(slots)) at linear cost.
+  int slots = 128;
+  /// Salt folded into every element hash; sketches built with different
+  /// seeds are incomparable.
+  std::uint64_t seed = 0x5eedf00dULL;
+};
+
+/// A densified one-permutation minhash signature. Reusable: reset() only
+/// reallocates when the slot count grows.
+class SequenceSketch {
+ public:
+  /// Prepare an empty signature with `slots` slots.
+  void reset(int slots) {
+    sig_.assign(static_cast<std::size_t>(slots), kEmpty);
+    elements_ = 0;
+  }
+
+  [[nodiscard]] int slots() const noexcept {
+    return static_cast<int>(sig_.size());
+  }
+  /// Number of (key, occurrence) elements folded in; 0 means "no signal"
+  /// (too-short sequence) and compares as similarity 0 to everything.
+  [[nodiscard]] std::size_t elements() const noexcept { return elements_; }
+  [[nodiscard]] bool empty() const noexcept { return elements_ == 0; }
+  [[nodiscard]] const std::vector<std::uint64_t>& signature() const noexcept {
+    return sig_;
+  }
+
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+ private:
+  friend void sketchKeys(const std::uint64_t*, std::size_t,
+                         const SketchParams&, class SketchScratch&,
+                         SequenceSketch&);
+  std::vector<std::uint64_t> sig_;
+  std::size_t elements_ = 0;
+};
+
+/// Flat preallocated working buffers for sketch construction. One per
+/// worker thread; never shared concurrently.
+class SketchScratch {
+ public:
+  /// Times any internal buffer grew. Constant once warm.
+  [[nodiscard]] std::uint64_t growEvents() const noexcept {
+    return grow_events_ + min_scratch_.growEvents();
+  }
+  /// Full sequence scans performed (one per sketchWindow call). Callers
+  /// that reuse pre-extracted minimizers via sketchMinimizers never
+  /// increment this — the pipeline asserts reads are scanned only once.
+  [[nodiscard]] std::uint64_t sequenceScans() const noexcept {
+    return sequence_scans_;
+  }
+
+ private:
+  friend void sketchKeys(const std::uint64_t*, std::size_t,
+                         const SketchParams&, SketchScratch&, SequenceSketch&);
+  friend void sketchMinimizers(const mapper::Minimizer*, std::size_t,
+                               const SketchParams&, SketchScratch&,
+                               SequenceSketch&);
+  friend void sketchWindow(std::string_view, int, int, const SketchParams&,
+                           SketchScratch&, SequenceSketch&);
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> key_stage_;
+  std::vector<mapper::Minimizer> mins_;
+  mapper::MinimizerScratch min_scratch_;
+  std::uint64_t grow_events_ = 0;
+  std::uint64_t sequence_scans_ = 0;
+};
+
+/// Build the weighted-minhash signature of a bare key multiset (order
+/// irrelevant). This is the core entry point: callers that already hold
+/// minimizer keys — a read's seeding extraction, or a position-range
+/// slice of the reference index — sketch without touching sequence.
+void sketchKeys(const std::uint64_t* keys, std::size_t count,
+                const SketchParams& params, SketchScratch& scratch,
+                SequenceSketch& out);
+
+/// Convenience over sketchKeys for a minimizer array (positions/strands
+/// are ignored — only key multiplicity matters, so one read sketch
+/// serves both strands).
+void sketchMinimizers(const mapper::Minimizer* mins, std::size_t count,
+                      const SketchParams& params, SketchScratch& scratch,
+                      SequenceSketch& out);
+
+/// Extract the (w,k)-minimizers of `seq` into scratch (counted as one
+/// sequence scan) and sketch them.
+void sketchWindow(std::string_view seq, int k, int w,
+                  const SketchParams& params, SketchScratch& scratch,
+                  SequenceSketch& out);
+
+/// Fraction of equal signature slots — an estimate of the weighted
+/// Jaccard similarity of the underlying minimizer multisets, in [0, 1].
+/// Returns 0 if either sketch is empty; throws if slot counts differ.
+[[nodiscard]] double estimateSimilarity(const SequenceSketch& a,
+                                        const SequenceSketch& b);
+
+}  // namespace gx::sketch

@@ -28,6 +28,12 @@
 //                          the two-phase distance-first fast path
 //   --single-phase         disable the two-phase fast path (A/B testing;
 //                          output is byte-identical either way)
+//   --prefilter MODE       off (default) | sketch: weighted-minhash
+//                          similarity screen that drops hopeless
+//                          candidates before phase-1 distance scoring
+//                          (requires --primary-only, two-phase flow)
+//   --stats-json FILE      write stage times + run counters as one JSON
+//                          object to FILE (stderr text unchanged)
 //   --no-verify            skip the index payload checksum at --index
 //                          load (header checksum is always verified)
 //   --on-bad-record MODE   abort (default) | skip | warn: what to do
@@ -82,6 +88,8 @@ struct Options {
   int overlap = 24;
   bool primary_only = false;
   bool single_phase = false;
+  std::string prefilter = "off";
+  std::string stats_json_path;
   bool no_verify = false;
   bool list_backends = false;
   std::string on_bad_record = "abort";
@@ -106,6 +114,8 @@ bool parseArgs(int argc, char** argv, Options& opt) {
   cli.option("--overlap", opt.overlap);
   cli.flag("--primary-only", opt.primary_only);
   cli.flag("--single-phase", opt.single_phase);
+  cli.option("--prefilter", opt.prefilter);
+  cli.option("--stats-json", opt.stats_json_path);
   cli.flag("--no-verify", opt.no_verify);
   cli.flag("--list-backends", opt.list_backends);
   cli.option("--on-bad-record", opt.on_bad_record);
@@ -122,6 +132,17 @@ bool parseArgs(int argc, char** argv, Options& opt) {
     std::fprintf(stderr, "--ref and --index are mutually exclusive\n");
     return false;
   }
+  if (opt.prefilter != "off" && opt.prefilter != "sketch") {
+    std::fprintf(stderr, "--prefilter must be off or sketch (got '%s')\n",
+                 opt.prefilter.c_str());
+    return false;
+  }
+  if (opt.prefilter == "sketch" && (!opt.primary_only || opt.single_phase)) {
+    std::fprintf(stderr,
+                 "--prefilter=sketch requires --primary-only and the "
+                 "two-phase flow (drop --single-phase)\n");
+    return false;
+  }
   if (opt.on_bad_record != "abort" && opt.on_bad_record != "skip" &&
       opt.on_bad_record != "warn") {
     std::fprintf(stderr,
@@ -131,6 +152,56 @@ bool parseArgs(int argc, char** argv, Options& opt) {
   }
   return (!opt.ref_path.empty() || !opt.index_path.empty()) &&
          !opt.reads_path.empty();
+}
+
+/// --stats-json: everything the stderr report says — stage times, mapping
+/// stats, the PR-8 RunReport counters, and the prefilter accounting — as
+/// one machine-readable object. Stderr text stays the authoritative
+/// human surface; this file is for harnesses and dashboards.
+bool writeStatsJson(const std::string& path,
+                    const gx::pipeline::MappingPipeline& pipe,
+                    const gx::pipeline::PipelineStats& stats,
+                    double map_seconds) {
+  const gx::pipeline::StageTimes& st = pipe.stageTimes();
+  const gx::pipeline::RunReport& rr = pipe.report();
+  const gx::pipeline::PrefilterStats& pf = pipe.prefilterStats();
+  const bool sketch_on =
+      pipe.config().prefilter.mode == gx::pipeline::PrefilterMode::kSketch;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"stage_seconds\": {\"index_build\": " << st.index_build_s
+      << ", \"seed_chain\": " << st.seed_chain_s
+      << ", \"phase1_distance\": " << st.phase1_distance_s
+      << ", \"sketch\": " << st.sketch_s
+      << ", \"phase2_traceback\": " << st.traceback_s
+      << ", \"output\": " << st.output_s << "},\n";
+  out << "  \"stats\": {\"reads\": " << stats.reads
+      << ", \"mapped_reads\": " << stats.mapped_reads
+      << ", \"unmapped_reads\": " << stats.unmapped_reads
+      << ", \"candidates\": " << stats.candidates
+      << ", \"records\": " << stats.records << "},\n";
+  out << "  \"report\": {\"records_in\": " << rr.records_in
+      << ", \"records_out\": " << rr.records_out
+      << ", \"skipped_bad_records\": " << rr.skipped_bad_records
+      << ", \"rejected_reads\": " << rr.rejected_reads
+      << ", \"failed_reads\": " << rr.failed_reads
+      << ", \"failed_tasks\": " << rr.failed_tasks
+      << ", \"clean\": " << (rr.clean() ? "true" : "false") << "},\n";
+  out << "  \"prefilter\": {\"mode\": \"" << (sketch_on ? "sketch" : "off")
+      << "\", \"reads_sketched\": " << pf.reads_sketched
+      << ", \"windows_sketched\": " << pf.windows_sketched
+      << ", \"candidates_seen\": " << pf.candidates_seen
+      << ", \"candidates_filtered\": " << pf.candidates_filtered
+      << ", \"sequence_scans\": " << pf.sequence_scans
+      << ", \"scratch_grow_events\": " << pf.scratch_grow_events << "},\n";
+  out << "  \"map_seconds\": " << map_seconds << ",\n";
+  out << "  \"reads_per_sec\": "
+      << (map_seconds > 0 ? static_cast<double>(stats.reads) / map_seconds
+                          : 0.0)
+      << "\n}\n";
+  out.close();
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -144,7 +215,8 @@ int main(int argc, char** argv) {
         "usage: genasmx_map (--ref <reference.fa> | --index <ref.gxi>) "
         "--reads <reads.fa|fq> [--out FILE] [--backend NAME] [--threads N] "
         "[--max-candidates N] [--batch N] [--window W] [--overlap O] "
-        "[--primary-only] [--single-phase] [--no-verify] "
+        "[--primary-only] [--single-phase] [--prefilter off|sketch] "
+        "[--stats-json FILE] [--no-verify] "
         "[--on-bad-record abort|skip|warn] [--max-read-len N] "
         "[--max-batch-bytes N] [--fault SPEC] [--list-backends]\n"
         "       genasmx_map <reference.fa> <reads.fa|fq> [options]\n");
@@ -197,6 +269,9 @@ int main(int argc, char** argv) {
                                                     : io::OnBadRecord::kAbort;
   cfg.max_read_len = opt.max_read_len;
   cfg.max_batch_bytes = opt.max_batch_bytes;
+  cfg.prefilter.mode = opt.prefilter == "sketch"
+                           ? pipeline::PrefilterMode::kSketch
+                           : pipeline::PrefilterMode::kOff;
 
   util::Timer timer;
   std::unique_ptr<mapper::MappedIndex> mapped;  // keeps --index storage alive
@@ -316,9 +391,27 @@ int main(int argc, char** argv) {
   const pipeline::StageTimes& st = pipe->stageTimes();
   std::fprintf(stderr,
                "[%.2fs] stage breakdown: index-build %.2fs, seed+chain "
-               "%.2fs, phase1-distance %.2fs, phase2-traceback %.2fs, "
-               "output %.2fs\n",
+               "%.2fs, phase1-distance %.2fs (sketch %.2fs), "
+               "phase2-traceback %.2fs, output %.2fs\n",
                timer.seconds(), st.index_build_s, st.seed_chain_s,
-               st.phase1_distance_s, st.traceback_s, st.output_s);
+               st.phase1_distance_s, st.sketch_s, st.traceback_s,
+               st.output_s);
+  const pipeline::PrefilterStats& pf = pipe->prefilterStats();
+  if (opt.prefilter == "sketch") {
+    std::fprintf(stderr,
+                 "[%.2fs] prefilter: %llu of %llu non-best candidates "
+                 "dropped (%llu reads, %llu windows sketched)\n",
+                 timer.seconds(),
+                 static_cast<unsigned long long>(pf.candidates_filtered),
+                 static_cast<unsigned long long>(pf.candidates_seen),
+                 static_cast<unsigned long long>(pf.reads_sketched),
+                 static_cast<unsigned long long>(pf.windows_sketched));
+  }
+  if (!opt.stats_json_path.empty() &&
+      !writeStatsJson(opt.stats_json_path, *pipe, stats, map_seconds)) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 opt.stats_json_path.c_str());
+    return 1;
+  }
   return 0;
 }
