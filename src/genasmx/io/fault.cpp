@@ -47,6 +47,12 @@ FaultClause parseClause(std::string_view clause) {
     c.kind = FaultKind::kEagain;
   } else if (kind_s == "short") {
     c.kind = FaultKind::kShortWrite;
+  } else if (kind_s == "close") {
+    c.kind = FaultKind::kClose;
+  } else if (kind_s == "stall") {
+    c.kind = FaultKind::kStall;
+  } else if (kind_s == "torn") {
+    c.kind = FaultKind::kTorn;
   } else {
     badSpec(clause, "unknown kind '" + std::string(kind_s) + "'");
   }
@@ -70,6 +76,8 @@ FaultClause parseClause(std::string_view clause) {
     c.site = FaultSite::kMap;
   } else if (site_s == "out") {
     c.site = FaultSite::kOutput;
+  } else if (site_s == "conn") {
+    c.site = FaultSite::kConn;
   } else {
     badSpec(clause, "unknown site '" + std::string(site_s) + "'");
   }
@@ -79,6 +87,9 @@ FaultClause parseClause(std::string_view clause) {
 
   // Reject combinations no seam implements, so a typo'd plan fails at
   // parse time instead of silently never firing.
+  const bool conn_kind = c.kind == FaultKind::kClose ||
+                         c.kind == FaultKind::kStall ||
+                         c.kind == FaultKind::kTorn;
   switch (c.site) {
     case FaultSite::kInput:
     case FaultSite::kMap:
@@ -92,8 +103,14 @@ FaultClause parseClause(std::string_view clause) {
       }
       break;
     case FaultSite::kOutput:
-      if (c.kind == FaultKind::kTruncate) {
-        badSpec(clause, "'truncate' does not apply to site 'out'");
+      if (c.kind == FaultKind::kTruncate || conn_kind) {
+        badSpec(clause, "kind does not apply to site 'out'");
+      }
+      break;
+    case FaultSite::kConn:
+      if (!conn_kind) {
+        badSpec(clause,
+                "only 'close'/'stall'/'torn' apply to site 'conn'");
       }
       break;
   }
@@ -162,6 +179,36 @@ FaultKind FaultPlan::outputFault(std::uint64_t write_index,
     if (persistent || attempt == 0) return c.kind;
   }
   return FaultKind::kNone;
+}
+
+bool FaultPlan::connClose(std::uint64_t conn_index) const noexcept {
+  for (const FaultClause& c : clauses_) {
+    if (c.kind == FaultKind::kClose && c.site == FaultSite::kConn &&
+        c.arg == conn_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::connStall(std::uint64_t conn_index) const noexcept {
+  for (const FaultClause& c : clauses_) {
+    if (c.kind == FaultKind::kStall && c.site == FaultSite::kConn &&
+        c.arg == conn_index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::connTorn(std::uint64_t conn_index) const noexcept {
+  for (const FaultClause& c : clauses_) {
+    if (c.kind == FaultKind::kTorn && c.site == FaultSite::kConn &&
+        c.arg == conn_index) {
+      return true;
+    }
+  }
+  return false;
 }
 
 const FaultPlan* activeFaultPlan() noexcept {

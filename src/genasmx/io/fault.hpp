@@ -21,6 +21,13 @@
 //   eintr@out:N       output write N is interrupted once, retry succeeds
 //   eagain@out:N      output write N would block once, retry succeeds
 //   short@out:N       output write N writes only half, rest on retry
+//   close@conn:N      server connection N (accept order, 0-based) is
+//                     closed abruptly after its next request header
+//   stall@conn:N      server connection N stops draining responses —
+//                     every write sees an unwritable socket until the
+//                     slow-client timeout sheds it
+//   torn@conn:N       server connection N's next request body reads as
+//                     EOF mid-frame (a torn frame)
 //
 // The plan itself holds no mutable state (queries take the caller's
 // counters), so one plan can serve concurrent readers/writers and a
@@ -42,6 +49,9 @@ enum class FaultKind : std::uint8_t {
   kEintr,
   kEagain,
   kShortWrite,
+  kClose,  ///< abrupt connection close (site 'conn' only)
+  kStall,  ///< connection stops draining responses (site 'conn' only)
+  kTorn,   ///< request frame ends early (site 'conn' only)
 };
 
 enum class FaultSite : std::uint8_t {
@@ -49,6 +59,7 @@ enum class FaultSite : std::uint8_t {
   kInputRecord,  ///< per-record faults on the read stream
   kMap,          ///< MappedFile::open
   kOutput,       ///< PafWriter flush-to-stream writes
+  kConn,         ///< server connections, by accept order
 };
 
 struct FaultClause {
@@ -87,6 +98,12 @@ class FaultPlan {
   /// (ENOSPC/EIO) fire on every attempt.
   [[nodiscard]] FaultKind outputFault(std::uint64_t write_index,
                                       std::uint64_t attempt) const noexcept;
+
+  /// Should server connection `conn_index` (accept order, 0-based) be
+  /// closed abruptly / stop draining responses / tear its next frame?
+  [[nodiscard]] bool connClose(std::uint64_t conn_index) const noexcept;
+  [[nodiscard]] bool connStall(std::uint64_t conn_index) const noexcept;
+  [[nodiscard]] bool connTorn(std::uint64_t conn_index) const noexcept;
 
  private:
   std::vector<FaultClause> clauses_;

@@ -209,17 +209,44 @@ void RunReport::print(std::ostream& os) const {
   }
 }
 
+bool Cancellation::expired() const noexcept {
+  if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+void Cancellation::check() const {
+  if (expired()) {
+    throw common::Error(common::ErrorCode::kResourceLimit,
+                        "request deadline exceeded (batch cancelled at a "
+                        "pipeline stage boundary)");
+  }
+}
+
 MappingPipeline::MappingPipeline(refmodel::Reference ref, PipelineConfig cfg)
     : cfg_(std::move(cfg)),
-      engine_(cfg_.engine),
-      mapper_(buildMapperTimed(std::move(ref), cfg_.mapper, &engine_.pool(),
+      owned_engine_(std::make_unique<engine::AlignmentEngine>(cfg_.engine)),
+      engine_(owned_engine_.get()),
+      mapper_(buildMapperTimed(std::move(ref), cfg_.mapper, &engine_->pool(),
                                times_.index_build_s)) {
   buildPrefilterTable();
 }
 
 MappingPipeline::MappingPipeline(mapper::IndexView index, PipelineConfig cfg)
     : cfg_(std::move(cfg)),
-      engine_(cfg_.engine),
+      owned_engine_(std::make_unique<engine::AlignmentEngine>(cfg_.engine)),
+      engine_(owned_engine_.get()),
+      mapper_(index, cfg_.mapper) {
+  buildPrefilterTable();
+}
+
+MappingPipeline::MappingPipeline(mapper::IndexView index,
+                                 engine::AlignmentEngine& shared_engine,
+                                 PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      engine_(&shared_engine),
       mapper_(index, cfg_.mapper) {
   buildPrefilterTable();
 }
@@ -258,6 +285,12 @@ MappingPipeline::MappingPipeline(std::string target_name, std::string genome,
 
 std::vector<io::PafRecord> MappingPipeline::mapBatch(
     const std::vector<io::FastxRecord>& reads) {
+  return mapBatch(reads, Cancellation{}, nullptr);
+}
+
+std::vector<io::PafRecord> MappingPipeline::mapBatch(
+    const std::vector<io::FastxRecord>& reads, const Cancellation& cancel,
+    BatchOutputMap* outmap) {
   // Stage 1 — candidate generation, fanned out on the engine's pool.
   // Each read is isolated: a throw poisons that read alone (it degrades
   // to unmapped), never the batch. failed[i]/read_status[i] are written
@@ -267,7 +300,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   std::vector<ReadWork> work(reads.size());
   std::vector<unsigned char> failed(reads.size(), 0);
   std::vector<common::Status> read_status(reads.size());
-  engine_.pool().parallel_for(
+  engine_->pool().parallel_for(
       reads.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           try {
@@ -292,6 +325,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
         }
       });
   times_.seed_chain_s += stage_timer.seconds();
+  cancel.check();
 
   const auto targetView = [&](const mapper::Candidate& c) {
     return mapper_.candidateText(c);  // view into the reference backing
@@ -413,6 +447,15 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   std::vector<io::PafRecord> out;
   RecordBuilder builder{mapper_.reference(), stats_, out};
 
+  // Per-read record counts for callers that split the batch back into
+  // requests; called exactly once per read, in input order.
+  const auto noteRead = [&](std::size_t i, std::size_t out_before) {
+    if (outmap == nullptr) return;
+    outmap->records_per_read.push_back(
+        static_cast<std::uint32_t>(out.size() - out_before));
+    outmap->read_failed.push_back(failed[i]);
+  };
+
   // Fold per-read failure flags into the report during the serial
   // emission walk (input order -> deterministic first_error).
   const auto tallyFailure = [&](std::size_t i) {
@@ -423,6 +466,19 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     if (report_.first_error.ok() && !read_status[i].ok()) {
       report_.first_error = read_status[i];
     }
+  };
+
+  // A read emitted chain-only because its alignment tasks faulted (the
+  // engine degrades a throwing lane to ok == false; a healthy backend
+  // always produces a result) is a per-read failure too — flag it at
+  // the emission site, after the loop-top tallyFailure already ran.
+  const auto tallyAlignmentFailure = [&](std::size_t i) {
+    if (failed[i] != 0) return;
+    failed[i] = 1;
+    read_status[i] = common::Status(
+        common::ErrorCode::kInternal,
+        "candidate alignments failed; emitted chain-only record");
+    tallyFailure(i);
   };
 
   if (!cfg_.emit_secondary) {
@@ -453,7 +509,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       // two modes — and any thread count — stay byte-identical.
       stage_timer.reset();
       std::vector<common::AlignmentResult> chain_best(reads.size());
-      engine_.pool().parallel_for(
+      engine_->pool().parallel_for(
           reads.size(), [&](std::size_t begin, std::size_t end) {
             bool chunk_ok = true;
             auto sketch_worker = leaseSketchWorker();
@@ -463,7 +519,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                 sketch_worker ? sketch_worker->scratch.sequenceScans() : 0;
             PrefilterLocal prefilter_local;
             {
-              engine::AlignmentEngine::AlignerLease aligner(engine_);
+              engine::AlignmentEngine::AlignerLease aligner(*engine_);
               try {
                 if (cfg_.batched_distance) {
                   // Chain-best alignments for the whole chunk through one
@@ -598,7 +654,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                     const auto target = targetView(cands[c]);
                     const auto query = queryView(i, cands[c]);
                     if (c == 0) {
-                      chain_best[i] = engine_.align(target, query);
+                      chain_best[i] = engine_->align(target, query);
                       if (chain_best[i].ok) {
                         p.update(0, static_cast<int>(
                                         chain_best[i].cigar.editDistance()));
@@ -618,7 +674,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                       }
                     }
                     const int d =
-                        engine_.distance(target, query, p.scoreCap());
+                        engine_->distance(target, query, p.scoreCap());
                     if (d >= 0) p.update(static_cast<int>(c), d);
                   }
                 } catch (...) {
@@ -633,6 +689,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                                 sketch_scans_before, prefilter_local);
           });
       times_.phase1_distance_s += stage_timer.seconds();
+      cancel.check();
       // Phase 2 — a traceback alignment only for winners that are not
       // the cached chain-best candidate.
       stage_timer.reset();
@@ -645,8 +702,9 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
         winner_reads.push_back(i);
         winner_tasks.push_back({targetView(cand), queryView(i, cand)});
       }
-      aligned = engine_.alignBatch(winner_tasks);
+      aligned = engine_->alignBatch(winner_tasks);
       times_.traceback_s += stage_timer.seconds();
+      cancel.check();
       // Fold: cached chain-best winners append after the batch results.
       for (std::size_t k = 0; k < winner_reads.size(); ++k) {
         widx[winner_reads[k]] = k;
@@ -673,8 +731,9 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
           tasks.push_back({targetView(c), queryView(i, c)});
         }
       }
-      aligned = engine_.alignBatch(tasks);
+      aligned = engine_->alignBatch(tasks);
       times_.traceback_s += stage_timer.seconds();
+      cancel.check();
       for (std::size_t i = 0; i < reads.size(); ++i) {
         for (std::size_t c = 0; c < work[i].cands.size(); ++c) {
           const auto& res = aligned[offset[i] + c];
@@ -692,10 +751,12 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     stage_timer.reset();
     for (std::size_t i = 0; i < reads.size(); ++i) {
       const auto& cands = work[i].cands;
+      const std::size_t out_before = out.size();
       ++stats_.reads;
       tallyFailure(i);
       if (cands.empty()) {
         ++stats_.unmapped_reads;
+        noteRead(i, out_before);
         continue;
       }
       stats_.candidates += cands.size();
@@ -710,10 +771,12 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
                               computeMapqFromDistances(p.d1, p.d2,
                                                        cfg_.mapq_cap));
         } else {
-          builder.emitChainOnly(reads[i], cand);  // defensive; see tests
+          tallyAlignmentFailure(i);
+          builder.emitChainOnly(reads[i], cand);
         }
       }
       ++stats_.mapped_reads;
+      noteRead(i, out_before);
     }
     times_.output_s += stage_timer.seconds();
     return out;
@@ -736,8 +799,9 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       tasks.push_back({targetView(c), queryView(i, c)});
     }
   }
-  const auto results = engine_.alignBatch(tasks);
+  const auto results = engine_->alignBatch(tasks);
   times_.traceback_s += stage_timer.seconds();
+  cancel.check();
 
   // Fold results back per read, pick the primary, score MAPQ, and emit
   // (serial, so output order is input order).
@@ -745,10 +809,12 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
   for (std::size_t i = 0; i < reads.size(); ++i) {
     const auto& read = reads[i];
     const auto& cands = work[i].cands;
+    const std::size_t out_before = out.size();
     ++stats_.reads;
     tallyFailure(i);
     if (cands.empty()) {
       ++stats_.unmapped_reads;
+      noteRead(i, out_before);
       continue;
     }
     stats_.candidates += cands.size();
@@ -768,8 +834,10 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
     }
 
     if (scored.empty()) {
+      tallyAlignmentFailure(i);
       builder.emitChainOnly(read, cands[0]);
       ++stats_.mapped_reads;
+      noteRead(i, out_before);
       continue;
     }
 
@@ -797,6 +865,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
       }
     }
     ++stats_.mapped_reads;
+    noteRead(i, out_before);
   }
   times_.output_s += stage_timer.seconds();
   return out;
@@ -805,7 +874,7 @@ std::vector<io::PafRecord> MappingPipeline::mapBatch(
 PipelineStats MappingPipeline::run(std::istream& reads_in, io::PafWriter& out,
                                    const std::string& input_path) {
   const PipelineStats before = stats_;
-  const std::uint64_t task_failures_before = engine_.taskFailures();
+  const std::uint64_t task_failures_before = engine_->taskFailures();
   const std::size_t batch_reads = cfg_.batch_reads ? cfg_.batch_reads : 256;
   io::FastxPolicy policy;
   policy.on_bad_record = cfg_.on_bad_record;
@@ -818,7 +887,7 @@ PipelineStats MappingPipeline::run(std::istream& reads_in, io::PafWriter& out,
   const auto finalizeReport = [&] {
     report_.skipped_bad_records += reader.skipped();
     report_.errors.add(common::ErrorCode::kMalformedInput, reader.skipped());
-    report_.failed_tasks += engine_.taskFailures() - task_failures_before;
+    report_.failed_tasks += engine_->taskFailures() - task_failures_before;
   };
 
   try {

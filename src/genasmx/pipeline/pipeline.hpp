@@ -21,6 +21,8 @@
 // only the winning candidate pays for a traceback alignment — MAPQ needs
 // nothing beyond the best and second-best distances.
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -198,6 +200,36 @@ struct PrefilterStats {
   std::uint64_t scratch_grow_events = 0; ///< buffer growth; constant once warm
 };
 
+/// Cooperative cancellation for one mapBatch() call, checked at pipeline
+/// stage boundaries (after seeding/chaining, after each alignment phase,
+/// before emission) — the granularity the server's per-request deadlines
+/// need without threading a flag through every solver loop. Either
+/// trigger aborts the batch with a kResourceLimit error; nothing is
+/// emitted for it and the pipeline stays reusable.
+struct Cancellation {
+  /// Absolute wall deadline; max() (the default) never expires.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Optional external kill switch (e.g. "every owner of this batch has
+  /// disconnected"); nullptr = never.
+  const std::atomic<bool>* cancelled = nullptr;
+
+  [[nodiscard]] bool expired() const noexcept;
+  /// Throws common::Error(kResourceLimit) when expired — the transient,
+  /// retryable code the server maps to its shedding reply.
+  void check() const;
+};
+
+/// Per-read output map filled by mapBatch() for callers that must split
+/// one batch's flat record vector back to its originating reads — the
+/// server coalesces several requests into one batch and splits replies
+/// with exactly these counts. Records are grouped by read in input
+/// order, so records_per_read[i] consecutive records belong to read i.
+struct BatchOutputMap {
+  std::vector<std::uint32_t> records_per_read;
+  std::vector<unsigned char> read_failed;  ///< 1 = degraded after a failure
+};
+
 class MappingPipeline {
  public:
   /// Indexes `ref` and owns the result (throws what Mapper/
@@ -212,6 +244,17 @@ class MappingPipeline {
   /// cfg.mapper's k/w/max_occ are taken from the view. The view's owner
   /// must outlive the pipeline. index_build_s stays 0 on this path.
   explicit MappingPipeline(mapper::IndexView index, PipelineConfig cfg = {});
+
+  /// Map against an externally owned index AND an externally owned
+  /// engine. This is the session shape the server layer uses: many
+  /// pipelines (one per worker, each with its own scratch and stats)
+  /// share one immutable index and one AlignmentEngine, so the SIMD
+  /// lanes and the spare-aligner pool are shared process-wide instead of
+  /// duplicated per session. cfg.engine is ignored — the shared engine's
+  /// backend/threads win. Both `index`'s owner and `shared_engine` must
+  /// outlive the pipeline.
+  MappingPipeline(mapper::IndexView index, engine::AlignmentEngine& shared_engine,
+                  PipelineConfig cfg = {});
 
   /// Named constructor for the serve-from-disk path; reads as
   /// `MappingPipeline::open(mapped.view(), cfg)` at call sites.
@@ -232,7 +275,7 @@ class MappingPipeline {
   [[nodiscard]] const mapper::Mapper& mapper() const noexcept {
     return mapper_;
   }
-  [[nodiscard]] engine::AlignmentEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] engine::AlignmentEngine& engine() noexcept { return *engine_; }
 
   /// Map one batch of reads. Records are grouped by read in input order,
   /// primary record first within each read; deterministic for any thread
@@ -241,6 +284,13 @@ class MappingPipeline {
   /// with no candidate emit nothing.
   [[nodiscard]] std::vector<io::PafRecord> mapBatch(
       const std::vector<io::FastxRecord>& reads);
+
+  /// mapBatch with cooperative cancellation and an optional per-read
+  /// output map (see Cancellation / BatchOutputMap). Identical records
+  /// to the plain overload whenever the batch is not cancelled.
+  [[nodiscard]] std::vector<io::PafRecord> mapBatch(
+      const std::vector<io::FastxRecord>& reads, const Cancellation& cancel,
+      BatchOutputMap* outmap = nullptr);
 
   /// Stream `reads_in` (FASTA/FASTQ) through mapBatch() in
   /// config().batch_reads chunks (closing a batch early if
@@ -287,8 +337,12 @@ class MappingPipeline {
   void buildPrefilterTable();
 
   PipelineConfig cfg_;
-  engine::AlignmentEngine engine_;  ///< before mapper_: its pool builds the index
-  StageTimes times_;                ///< before mapper_: ctor times the build
+  /// Engine storage: owned on the classic ctors, empty when sharing.
+  /// Either way engine_ is the one engine every batch dispatches to;
+  /// it sits before mapper_ because its pool builds the index.
+  std::unique_ptr<engine::AlignmentEngine> owned_engine_;
+  engine::AlignmentEngine* engine_;
+  StageTimes times_;  ///< before mapper_: ctor times the build
   mapper::Mapper mapper_;
   PipelineStats stats_;
   RunReport report_;

@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), nullptr});
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -48,16 +48,30 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t step = (n + chunks - 1) / chunks;
-  for (std::size_t begin = 0; begin < n; begin += step) {
-    const std::size_t end = std::min(begin + step, n);
-    submit([&fn, begin, end] { fn(begin, end); });
+  // The group outlives every chunk because we block on it below, so the
+  // workers may hold raw pointers into this frame.
+  Group group;
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t begin = 0; begin < n; begin += step) {
+      const std::size_t end = std::min(begin + step, n);
+      tasks_.push(Task{[&fn, begin, end] { fn(begin, end); }, &group});
+      ++group.in_flight;
+    }
   }
-  wait_idle();
+  cv_task_.notify_all();
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [&group] { return group.in_flight == 0; });
+  if (group.error) {
+    std::exception_ptr err = std::exchange(group.error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -67,14 +81,19 @@ void ThreadPool::worker_loop() {
     }
     std::exception_ptr err;
     try {
-      task();
+      task.fn();
     } catch (...) {
       err = std::current_exception();
     }
     {
       std::lock_guard lock(mu_);
-      if (err && !pending_error_) pending_error_ = err;
-      if (--in_flight_ == 0) cv_idle_.notify_all();
+      if (task.group != nullptr) {
+        if (err && !task.group->error) task.group->error = err;
+        if (--task.group->in_flight == 0) cv_idle_.notify_all();
+      } else {
+        if (err && !pending_error_) pending_error_ = err;
+        if (--in_flight_ == 0) cv_idle_.notify_all();
+      }
     }
   }
 }

@@ -15,6 +15,7 @@
 //   if (!cli.parse(argc, argv)) { ...print usage...; return 2; }
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,14 @@
 #include <vector>
 
 namespace gx::cli {
+
+/// Ignore SIGPIPE process-wide. Every tool main() calls this first:
+/// with the default disposition, `genasmx_map ... | head` kills the
+/// mapper by signal the moment head exits, with no diagnostic and an
+/// exit status tests cannot reason about. Ignored, the write fails with
+/// EPIPE, the stream goes bad, and the existing sink-state checks turn
+/// it into a one-line io-fatal error and a clean non-zero exit.
+inline void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
 
 /// Strict non-negative integer parse: rejects signs, trailing junk, and
 /// out-of-range values.

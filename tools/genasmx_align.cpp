@@ -25,6 +25,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli.hpp"
 #include "genasmx/engine/engine.hpp"
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/io/paf.hpp"
@@ -101,6 +102,7 @@ bool parseArgs(int argc, char** argv, Options& opt) {
 
 int main(int argc, char** argv) {
   using namespace gx;
+  cli::ignoreSigpipe();
   Options opt;
   if (!parseArgs(argc, argv, opt)) {
     std::fprintf(stderr,

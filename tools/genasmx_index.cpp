@@ -67,6 +67,7 @@ bool parseArgs(int argc, char** argv, Options& opt) {
 
 int main(int argc, char** argv) {
   using namespace gx;
+  cli::ignoreSigpipe();
   Options opt;
   if (!parseArgs(argc, argv, opt)) {
     std::fprintf(stderr,

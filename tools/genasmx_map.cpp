@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "cli.hpp"
+#include "genasmx/common/error.hpp"
 #include "genasmx/engine/registry.hpp"
 #include "genasmx/io/fastx.hpp"
 #include "genasmx/io/fault.hpp"
@@ -208,6 +209,7 @@ bool writeStatsJson(const std::string& path,
 
 int main(int argc, char** argv) {
   using namespace gx;
+  cli::ignoreSigpipe();
   Options opt;
   if (!parseArgs(argc, argv, opt)) {
     std::fprintf(
@@ -369,12 +371,20 @@ int main(int argc, char** argv) {
   if (!opt.out_path.empty()) {
     paf_file.close();
     if (!paf_file) {
-      std::fprintf(stderr, "error: closing %s failed (disk full?)\n",
-                   opt.out_path.c_str());
+      std::fprintf(stderr, "error: %s\n",
+                   common::formatError(common::ErrorCode::kIoFatal,
+                                       "closing " + opt.out_path +
+                                           " failed (disk full?)",
+                                       {})
+                       .c_str());
       return 1;
     }
   } else if (!std::cout) {
-    std::fprintf(stderr, "error: writing PAF to stdout failed\n");
+    std::fprintf(
+        stderr, "error: %s\n",
+        common::formatError(common::ErrorCode::kIoFatal,
+                            "writing PAF to stdout failed (closed pipe?)", {})
+            .c_str());
     return 1;
   }
   const double map_seconds = map_timer.seconds();

@@ -29,6 +29,7 @@
 
 int main(int argc, char** argv) {
   using namespace gx;
+  cli::ignoreSigpipe();
   std::string prefix;
   std::string pos_prefix;
   std::size_t genome_len = 1'000'000;
